@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation and prints the rows/series the paper reports (run pytest with
+``-s`` to see them). Expensive simulations that feed several figures run
+once per session here.
+
+The benchmarks assert the paper's *qualitative shape* (who wins, rough
+factors, where crossovers fall), not absolute numbers -- the substrate is
+a simulator, not the authors' 400-server production row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+PAPER = {
+    # Table 2 of the paper, for side-by-side printing.
+    "table2": {
+        "light": {"exp": dict(u_mean=0.015, u_max=0.441, p_mean=0.857, p_max=0.967, violations=0),
+                  "ctrl": dict(u_mean=0.0, u_max=0.0, p_mean=0.860, p_max=0.997, violations=0)},
+        "heavy": {"exp": dict(u_mean=0.247, u_max=0.500, p_mean=0.948, p_max=1.002, violations=1),
+                  "ctrl": dict(u_mean=0.0, u_max=0.0, p_mean=0.970, p_max=1.025, violations=321)},
+    },
+}
+
+
+def run_ab(workload: WorkloadSpec, seed: int, hours: float = 24.0, **kwargs) -> object:
+    config = ExperimentConfig(
+        n_servers=400,
+        duration_hours=hours,
+        warmup_hours=1.0,
+        over_provision_ratio=0.25,
+        workload=workload,
+        seed=seed,
+        **kwargs,
+    )
+    return ControlledExperiment(config).run()
+
+
+@pytest.fixture(scope="session")
+def heavy_run():
+    """24h A/B experiment under heavy workload (feeds Table 2, Figs 8-10)."""
+    return run_ab(WorkloadSpec.heavy(), seed=2)
+
+
+@pytest.fixture(scope="session")
+def light_run():
+    """24h A/B experiment under light workload (feeds Table 2, Fig 10a)."""
+    return run_ab(WorkloadSpec.light(), seed=5)
+
+
+@pytest.fixture(scope="session")
+def multi_row_trace():
+    """One-day five-row trace (feeds Figures 1 and 2)."""
+    from repro.workload.traces import MultiRowTraceConfig, run_multi_row_trace
+
+    return run_multi_row_trace(
+        MultiRowTraceConfig(n_rows=5, racks_per_row=2, days=1.0, seed=9)
+    )
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def once(benchmark, func):
+    """Run an expensive reproduction exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

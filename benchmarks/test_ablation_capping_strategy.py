@@ -1,0 +1,59 @@
+"""Ablation: capping victim selection -- concentrate or spread the damage.
+
+The paper treats "power capping" as one mechanism, but a capper must
+choose victims. Hottest-first (the usual implementation) throttles a few
+busy servers deeply; spread throttles everyone lightly. For co-located
+latency-critical services the choice matters: hottest-first hammers
+exactly the CPU-bound service hosts, while spread dilutes the slowdown.
+Neither approaches Ampere, which leaves running services alone entirely.
+"""
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.sim.interactive_experiment import (
+    InteractiveExperimentConfig,
+    run_interactive_scenario,
+)
+
+
+def test_ablation_capping_strategy(benchmark):
+    def sweep():
+        out = {}
+        for strategy in ("hottest-first", "spread"):
+            config = InteractiveExperimentConfig(
+                duration_hours=2.0,
+                warmup_hours=0.5,
+                seed=3,
+                capping_strategy=strategy,
+            )
+            out[strategy] = run_interactive_scenario("capping", config)
+        out["ampere"] = run_interactive_scenario(
+            "ampere",
+            InteractiveExperimentConfig(duration_hours=2.0, warmup_hours=0.5, seed=3),
+        )
+        return out
+
+    results = once(benchmark, sweep)
+
+    print_header("Ablation: capping strategy vs Ampere (GET p99.9)")
+    rows = []
+    for name, result in results.items():
+        report = result.reports["GET"]
+        rows.append(
+            [
+                name,
+                f"{report.p999 * 1e6:.0f}",
+                f"{report.p50 * 1e6:.0f}",
+                f"{result.fraction_service_time_capped:.1%}",
+            ]
+        )
+    print(render_table(["mode", "GET p99.9 (us)", "GET p50 (us)", "time capped"], rows))
+
+    ampere = results["ampere"].reports["GET"].p999
+    for strategy in ("hottest-first", "spread"):
+        # Any capping strategy damages the tail relative to Ampere, and
+        # services spend real time capped under both.
+        assert results[strategy].reports["GET"].p999 > 1.2 * ampere, strategy
+        assert results[strategy].fraction_service_time_capped > 0.02, strategy
+    # Ampere never touches the services.
+    assert results["ampere"].fraction_service_time_capped < 0.02

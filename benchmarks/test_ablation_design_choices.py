@@ -1,0 +1,202 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper motivates several parameter and design choices without a full
+sensitivity study; these benches quantify them on the simulator:
+
+- ``r_stable`` (paper: "performance not sensitive, we use 0.8"): the
+  hysteresis ratio should mainly change freeze/unfreeze churn.
+- ``u_max`` (paper: operational 50% ceiling "causes a few violations"):
+  a lower ceiling reduces control authority.
+- E_t estimator (paper's future work: better online prediction): the
+  conservative hourly-percentile margin vs a constant vs EWMA.
+- Placement policy: Ampere only assumes placements are roughly
+  proportional to availability; non-uniform policies bend but shouldn't
+  break the control.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.core.config import AmpereConfig
+from repro.core.demand import EwmaDemandEstimator, PowerDemandEstimator
+from repro.scheduler.policies import BestFitPolicy, LeastLoadedPolicy
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+HOURS = 8.0
+
+
+def heavy_config(**kwargs):
+    defaults = dict(
+        n_servers=400,
+        duration_hours=HOURS,
+        warmup_hours=1.0,
+        over_provision_ratio=0.25,
+        workload=WorkloadSpec.heavy(),
+        seed=2,
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def run(config, demand_estimator=None):
+    experiment = ControlledExperiment(config, demand_estimator=demand_estimator)
+    result = experiment.run()
+    state = experiment.controller.state_of("experiment")
+    churn = state.freeze_actions + state.unfreeze_actions
+    return result, churn
+
+
+def test_ablation_r_stable(benchmark):
+    def sweep():
+        out = {}
+        for r_stable in (0.5, 0.8, 0.95):
+            config = heavy_config(ampere=AmpereConfig(r_stable=r_stable))
+            out[r_stable] = run(config)
+        return out
+
+    results = once(benchmark, sweep)
+    print_header("Ablation: stability ratio r_stable (heavy, 8h)")
+    rows = []
+    for r_stable, (result, churn) in results.items():
+        summary = result.experiment.summary
+        rows.append(
+            [f"{r_stable:.2f}", str(summary.violations), f"{summary.u_mean:.1%}",
+             str(churn), f"{result.r_t:.3f}"]
+        )
+    print(render_table(["r_stable", "violations", "u_mean", "churn", "r_T"], rows))
+
+    # The paper's claim: effectiveness is insensitive to r_stable.
+    violations = [r.experiment.summary.violations for r, _ in results.values()]
+    assert max(violations) - min(violations) <= 3
+
+
+def test_ablation_u_max(benchmark):
+    def sweep():
+        out = {}
+        for u_max in (0.2, 0.5, 1.0):
+            config = heavy_config(ampere=AmpereConfig(u_max=u_max))
+            out[u_max] = run(config)
+        return out
+
+    results = once(benchmark, sweep)
+    print_header("Ablation: freezing-ratio ceiling u_max (heavy, 8h)")
+    rows = []
+    for u_max, (result, _) in results.items():
+        summary = result.experiment.summary
+        rows.append(
+            [f"{u_max:.1f}", str(summary.violations), f"{summary.u_mean:.1%}",
+             f"{summary.u_max:.1%}", f"{summary.p_max:.3f}", f"{result.r_t:.3f}"]
+        )
+    print(render_table(["u_max", "violations", "u_mean", "u_max(observed)",
+                        "P_max", "r_T"], rows))
+
+    # Less ceiling, less control authority: peak power should not improve
+    # when the ceiling shrinks.
+    p_max = {u: r.experiment.summary.p_max for u, (r, _) in results.items()}
+    assert p_max[0.2] >= p_max[1.0] - 0.01
+
+
+def test_ablation_demand_estimator(benchmark):
+    def sweep():
+        out = {}
+        out["constant"] = run(heavy_config())
+        trained = PowerDemandEstimator()
+        # Train on an uncontrolled day of the same workload, as production
+        # would (historical monitoring data).
+        history = ControlledExperiment(
+            heavy_config(ampere_enabled=False, seed=41)
+        ).run()
+        trained.ingest_series(
+            history.control.power_times, history.control.normalized_power
+        )
+        out["hourly-99.5pct"] = run(heavy_config(), demand_estimator=trained)
+        out["ewma"] = run(heavy_config(), demand_estimator=EwmaDemandEstimator())
+        return out
+
+    results = once(benchmark, sweep)
+    print_header("Ablation: E_t estimator (heavy, 8h)")
+    rows = []
+    for name, (result, _) in results.items():
+        summary = result.experiment.summary
+        rows.append(
+            [name, str(summary.violations), f"{summary.u_mean:.1%}", f"{result.r_t:.3f}"]
+        )
+    print(render_table(["estimator", "violations", "u_mean", "r_T"], rows))
+
+    # Every estimator must keep violations far below the uncontrolled group.
+    for name, (result, _) in results.items():
+        assert (
+            result.experiment.summary.violations
+            <= 0.2 * max(1, result.control.summary.violations)
+        ), name
+
+
+def test_ablation_control_interval(benchmark):
+    """Control/monitoring interval: the paper calls one minute 'a good
+    tradeoff between measurement accuracy and monitoring overhead'.
+    Faster loops react sooner to spikes; slower loops leave the safety
+    margin to do more work."""
+
+    def sweep():
+        out = {}
+        for interval in (30.0, 60.0, 180.0):
+            config = heavy_config(
+                ampere=AmpereConfig(control_interval=interval)
+            )
+            experiment = ControlledExperiment(config)
+            # Monitoring follows the control cadence, as in the paper.
+            experiment.testbed.monitor.interval = interval
+            result = experiment.run()
+            state = experiment.controller.state_of("experiment")
+            out[interval] = (result, state.freeze_actions + state.unfreeze_actions)
+        return out
+
+    results = once(benchmark, sweep)
+    print_header("Ablation: control interval (heavy, 8h)")
+    rows = []
+    for interval, (result, churn) in results.items():
+        summary = result.experiment.summary
+        rows.append(
+            [f"{interval:.0f}s", str(summary.violations), f"{summary.u_mean:.1%}",
+             f"{summary.p_max:.3f}", str(churn), f"{result.r_t:.3f}"]
+        )
+    print(render_table(
+        ["interval", "violations", "u_mean", "P_max", "churn", "r_T"], rows))
+
+    # Sampled violations use the same cadence, so compare peak power:
+    # a much slower loop must not control better than the 60s default.
+    p60 = results[60.0][0].experiment.summary.p_max
+    p180 = results[180.0][0].experiment.summary.p_max
+    assert p180 >= p60 - 0.01
+
+
+def test_ablation_placement_policy(benchmark):
+    def sweep():
+        out = {"random": run(heavy_config())}
+        out["least-loaded"] = run(
+            heavy_config(placement_policy=LeastLoadedPolicy())
+        )
+        out["best-fit"] = run(heavy_config(placement_policy=BestFitPolicy()))
+        return out
+
+    results = once(benchmark, sweep)
+    print_header("Ablation: scheduler placement policy (heavy, 8h)")
+    rows = []
+    for name, (result, _) in results.items():
+        exp, ctrl = result.experiment.summary, result.control.summary
+        rows.append(
+            [name, str(exp.violations), str(ctrl.violations),
+             f"{exp.u_mean:.1%}", f"{result.r_t:.3f}"]
+        )
+    print(render_table(
+        ["policy", "viol(exp)", "viol(ctrl)", "u_mean", "r_T"], rows))
+
+    # The statistical control keeps working even when placement is not
+    # uniform-random (proportionality only approximate).
+    for name, (result, _) in results.items():
+        exp = result.experiment.summary.violations
+        ctrl = result.control.summary.violations
+        if ctrl > 10:
+            assert exp < 0.3 * ctrl, name

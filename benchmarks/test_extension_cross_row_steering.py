@@ -1,0 +1,47 @@
+"""Extension (paper Section 6 future work): cross-row power-aware steering.
+
+Not a figure in the paper -- it is the first future-work item: steer
+flexible jobs across rows by power condition while keeping Ampere's
+freeze/unfreeze interface unchanged. Expected shape: power-aware
+placement relieves the hot row, so Ampere freezes far less for the same
+throughput, and hot-row power drops while cold-row power rises.
+"""
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.sim.steering_experiment import SteeringConfig, run_steering_comparison
+
+
+def test_extension_cross_row_steering(benchmark):
+    config = SteeringConfig(duration_hours=6.0, seed=1)
+    results = once(benchmark, lambda: run_steering_comparison(config))
+
+    print_header("Extension: power-oblivious vs power-aware cross-row steering")
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                str(result.total_violations),
+                f"{result.mean_freezing_ratio:.2%}",
+                str(result.throughput),
+                " ".join(
+                    f"{row}={mean:.3f}"
+                    for row, mean in sorted(result.row_power_means.items())
+                ),
+            ]
+        )
+    print(render_table(
+        ["policy", "violations", "mean u", "throughput", "row power means"], rows))
+
+    random = results["random"]
+    steered = results["coolest-row"]
+    # Same offered workload -> same accepted throughput (both keep up).
+    assert abs(steered.throughput - random.throughput) < 0.02 * random.throughput
+    # Power-aware steering needs much less freezing ...
+    assert steered.mean_freezing_ratio < 0.7 * random.mean_freezing_ratio + 1e-6
+    # ... and never more violations.
+    assert steered.total_violations <= random.total_violations
+    # The hot row cools down under steering.
+    hot = max(random.row_power_means, key=random.row_power_means.get)
+    assert steered.row_power_means[hot] < random.row_power_means[hot]

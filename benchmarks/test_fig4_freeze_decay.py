@@ -1,0 +1,43 @@
+"""Figure 4: power decay of frozen servers.
+
+Paper: the mean power of ~80 frozen high-power servers drops gradually to
+near the idle floor after about 35 minutes, as their running jobs finish
+-- the slow half of the freeze effect (the fast half is diverted new
+placements).
+"""
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.sim.calibration import run_freeze_decay
+from repro.sim.testbed import WorkloadSpec
+
+
+def test_fig4_freeze_decay(benchmark):
+    result = once(
+        benchmark,
+        lambda: run_freeze_decay(
+            n_freeze=80,
+            observe_minutes=50,
+            n_servers=400,
+            workload=WorkloadSpec(target_utilization=0.30),
+            seed=1,
+        ),
+    )
+    curve = result.mean_power_normalized_to_rated
+
+    print_header("Figure 4: mean power of 80 frozen servers (normalized to rated)")
+    checkpoints = [0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+    print(
+        render_table(
+            ["minute", "power/rated"],
+            [[m, f"{curve[m]:.3f}"] for m in checkpoints],
+        )
+    )
+    print("paper: decays from ~0.82 to ~0.70 (idle floor) in ~35 minutes")
+
+    total_drop = curve[0] - curve[-1]
+    # The decay is substantial and front-loaded (most done by minute 35).
+    assert total_drop > 0.05
+    assert curve[0] - curve[35] > 0.75 * total_drop
+    # Ends near the idle floor of the power model (0.65 + background).
+    assert curve[-1] < 0.72

@@ -1,0 +1,46 @@
+"""Figure 5: the freeze-effect function f(u) and its linear fit k_r.
+
+Paper: the 25th/50th/75th percentiles of the measured one-minute power
+gap f(u) grow with the freezing ratio u; the median is near zero below
+u ~ 0.1 and rises roughly linearly after, justifying f(u) = k_r * u with
+RHC correcting the residual error.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.sim.calibration import run_freeze_effect_calibration
+from repro.sim.testbed import WorkloadSpec
+
+
+def test_fig5_freeze_effect(benchmark):
+    result = once(
+        benchmark,
+        lambda: run_freeze_effect_calibration(
+            hours=12.0,
+            n_servers=400,
+            workload=WorkloadSpec(target_utilization=0.28),
+            seed=1,
+        ),
+    )
+
+    print_header("Figure 5: f(u) percentiles by freezing ratio")
+    summary = result.model.binned_percentiles(bin_width=0.1)
+    rows = [
+        [f"{c:.2f}", f"{p[25.0]:+.4f}", f"{p[50.0]:+.4f}", f"{p[75.0]:+.4f}"]
+        for c, p in summary.items()
+    ]
+    print(render_table(["u", "p25", "median", "p75"], rows))
+    print(f"\nfitted k_r = {result.k_r:.4f} (linear fit through origin)")
+    print("paper: f(u) rises with u; median near zero below u~0.1")
+
+    assert result.k_r > 0
+    centers = sorted(summary)
+    medians = [summary[c][50.0] for c in centers]
+    # Shape: high-u medians clearly exceed low-u medians.
+    assert medians[-1] > medians[0]
+    assert np.mean(medians[-2:]) > 0
+    # Percentile bands are ordered within every bin.
+    for p in summary.values():
+        assert p[25.0] <= p[50.0] <= p[75.0]

@@ -1,0 +1,45 @@
+"""Figure 6: the control function F from row power P_t to freezing ratio u_t.
+
+Paper: u_t is zero below the threshold ratio r_threshold = 1 - E_t, rises
+linearly with slope 1/k_r between the threshold and the power limit, and
+clamps at 1.0 (0.5 in production). Analytic -- regenerated directly from
+Eq. 13.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.core.rhc import spcp_optimal_ratio, threshold_ratio
+
+
+def test_fig6_control_function(benchmark):
+    k_r = 0.02
+    e_t = 0.025
+
+    def curve():
+        powers = np.linspace(0.90, 1.05, 31)
+        return powers, np.array(
+            [spcp_optimal_ratio(p, e_t, k_r) for p in powers]
+        )
+
+    powers, ratios = once(benchmark, curve)
+
+    print_header("Figure 6: control function F(P_t) -> u_t  (E_t=%.3f, k_r=%.3f)" % (e_t, k_r))
+    threshold = threshold_ratio(e_t)
+    rows = [
+        [f"{p:.3f}", f"{u:.3f}"]
+        for p, u in zip(powers, ratios)
+        if abs(p * 200 - round(p * 200)) < 1e-9  # print every 0.005
+    ]
+    print(render_table(["P_t", "u_t"], rows))
+    print(f"\nthreshold ratio r_threshold = {threshold:.3f}; slope above it = 1/k_r")
+
+    below = ratios[powers < threshold - 1e-9]
+    assert (below == 0.0).all()
+    # Linear region slope equals 1/k_r.
+    linear = (powers > threshold + 1e-6) & (ratios < 1.0 - 1e-6)
+    slopes = np.diff(ratios[linear]) / np.diff(powers[linear])
+    assert np.allclose(slopes, 1.0 / k_r, rtol=1e-6)
+    # Saturation at 1.0.
+    assert ratios[-1] == 1.0

@@ -1,0 +1,33 @@
+"""Figure 7: CDF of batch job durations in the production cluster.
+
+Paper: mean duration ~9 minutes, ~40% of jobs finish within 2 minutes,
+CDF reaches 1.0 by 50 minutes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_cdf
+from repro.analysis.stats import empirical_cdf
+from repro.workload.distributions import JobDurationDistribution
+
+
+def test_fig7_job_durations(benchmark):
+    dist = JobDurationDistribution()
+
+    def sample():
+        rng = np.random.default_rng(42)
+        return dist.sample(rng, 200_000) / 60.0  # minutes
+
+    minutes = once(benchmark, sample)
+
+    print_header("Figure 7: batch job duration CDF")
+    values, probs = empirical_cdf(minutes)
+    print(render_cdf("job duration (minutes)", values, probs))
+    print(f"\nmean = {minutes.mean():.2f} min (paper ~9)")
+    print(f"P(duration <= 2 min) = {np.mean(minutes <= 2.0):.2f} (paper ~0.40)")
+    print(f"max = {minutes.max():.1f} min (paper: CDF reaches 1.0 at 50)")
+
+    assert 8.0 <= minutes.mean() <= 10.0
+    assert 0.30 <= np.mean(minutes <= 2.0) <= 0.45
+    assert minutes.max() <= 50.0 + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 8: row power over 24 hours.
+
+Paper: hour-scale diurnal variation leaves room to over-provision below
+the daily peak, plus unpredictable minute-scale spikes and valleys that
+motivate the conservative E_t margin.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+
+
+def test_fig8_diurnal_power(benchmark, heavy_run):
+    def analyze():
+        values = heavy_run.control.normalized_power
+        # Normalize to the daily max, as the figure does.
+        return values / values.max()
+
+    normalized = once(benchmark, analyze)
+
+    print_header("Figure 8: row power over 24h (normalized to daily max)")
+    per_hour = normalized[: 24 * 60].reshape(24, 60)
+    rows = [
+        [h, f"{per_hour[h].mean():.3f}", f"{per_hour[h].min():.3f}", f"{per_hour[h].max():.3f}"]
+        for h in range(0, 24, 2)
+    ]
+    print(render_table(["hour", "mean", "min", "max"], rows))
+    from repro.analysis.ascii_plots import sparkline_with_scale
+
+    print()
+    print(sparkline_with_scale("row power", normalized))
+    swing = normalized.max() - normalized.min()
+    print(f"\ndaily swing = {swing:.3f} of peak (paper: ~0.25)")
+
+    # Hour-scale variation exists...
+    hourly_means = per_hour.mean(axis=1)
+    assert hourly_means.max() - hourly_means.min() > 0.02
+    # ...and minute-scale spikes ride on top of it.
+    minute_jitter = np.abs(np.diff(normalized))
+    assert minute_jitter.max() > 0.005

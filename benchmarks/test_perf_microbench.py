@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Unlike the reproduction benchmarks (which run once and print paper
+tables), these are conventional pytest-benchmark timings: the event
+engine's scheduling throughput, the resource tracker's candidate query,
+the monitor's sampling loop, the Lindley recursion, and a full simulated
+hour end-to-end. They exist so performance regressions in the substrate
+are visible in CI, since every experiment's wall-clock depends on them.
+"""
+
+import numpy as np
+
+from repro.scheduler.omega import OmegaScheduler
+from repro.scheduler.resources import ResourceTracker
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+from repro.sim.testbed import Testbed, WorkloadSpec
+from repro.workload.interactive import lindley_waits
+from tests.conftest import make_server
+
+
+def test_perf_engine_schedule_run(benchmark):
+    """Throughput of scheduling + draining 10k no-op events."""
+
+    def run():
+        engine = Engine()
+        for i in range(10_000):
+            engine.schedule(float(i % 100), EventPriority.GENERIC, lambda: None)
+        engine.run()
+        return engine.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+def test_perf_tracker_candidates(benchmark):
+    """One vectorized placement query over a 400-server fleet."""
+    tracker = ResourceTracker([make_server(i) for i in range(400)])
+    for i in range(0, 400, 3):
+        tracker.on_place(i, 14.0, 30.0)
+
+    result = benchmark(tracker.candidates, 4.0, 8.0)
+    assert len(result) > 0
+
+
+def test_perf_monitor_sample(benchmark):
+    """One per-minute sample of a 400-server group."""
+    from repro.cluster.group import ServerGroup
+    from repro.monitor.power_monitor import PowerMonitor
+
+    engine = Engine()
+    servers = [make_server(i) for i in range(400)]
+    monitor = PowerMonitor(engine, noise_sigma=0.01)
+    monitor.register_group(ServerGroup("g", servers))
+
+    benchmark(monitor.sample_once)
+    assert monitor.samples_taken > 0
+
+
+def test_perf_lindley(benchmark):
+    """Vectorized Lindley recursion over one million requests."""
+    rng = np.random.default_rng(0)
+    inter = rng.exponential(1.0, size=1_000_000)
+    inter[0] = 0.0
+    services = rng.gamma(2.0, 0.3, size=1_000_000)
+
+    waits = benchmark(lindley_waits, inter, services)
+    assert (waits >= 0).all()
+
+
+def test_perf_simulated_hour(benchmark):
+    """End-to-end: one simulated hour of a loaded 400-server row."""
+
+    def run():
+        testbed = Testbed(n_servers=400, seed=0)
+        generator = testbed.add_batch_workload(WorkloadSpec.typical(), 3600.0)
+        generator.start(3600.0)
+        testbed.monitor.register_group(testbed.row)
+        testbed.monitor.start(3600.0)
+        testbed.run(until=3600.0)
+        return testbed.scheduler.stats.placed
+
+    placed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert placed > 1000

@@ -1,0 +1,106 @@
+"""Table 2 + Figure 10: controller effectiveness under light/heavy load.
+
+Paper (r_O = 0.25, 24 h, measurements per minute):
+
+             light              heavy
+             exp      ctrl      exp      ctrl
+  u_mean     1.5%     0%        24.7%    0%
+  u_max      44.1%    0%        50.0%    0%
+  P_mean     0.857    0.860     0.948    0.970
+  P_max      0.967    0.997     1.002    1.025
+  violations 0        0         1        321
+
+The shape to reproduce: under heavy load the uncontrolled group violates
+its budget hundreds of times while Ampere's group stays at ~zero by
+freezing up to the 50% operational ceiling; under light load the
+controller barely acts and both groups match.
+"""
+
+from benchmarks.conftest import PAPER, once, print_header
+from repro.analysis.report import render_table
+
+
+def _rows(label, outcome, paper):
+    summary = outcome.summary
+    return [
+        [
+            label,
+            f"{summary.u_mean:.1%} / {paper['u_mean']:.1%}",
+            f"{summary.u_max:.1%} / {paper['u_max']:.1%}",
+            f"{summary.p_mean:.3f} / {paper['p_mean']:.3f}",
+            f"{summary.p_max:.3f} / {paper['p_max']:.3f}",
+            f"{summary.violations} / {paper['violations']}",
+        ]
+    ]
+
+
+def test_table2_light(benchmark, light_run):
+    result = once(benchmark, lambda: light_run)
+    print_header("Table 2 (light workload)  measured / paper")
+    paper = PAPER["table2"]["light"]
+    rows = _rows("exp", result.experiment, paper["exp"]) + _rows(
+        "ctrl", result.control, paper["ctrl"]
+    )
+    print(render_table(["group", "u_mean", "u_max", "P_mean", "P_max", "violations"], rows))
+
+    # Light: no violations anywhere, controller mostly idle.
+    assert result.experiment.summary.violations == 0
+    assert result.control.summary.violations == 0
+    assert result.experiment.summary.u_mean < 0.05
+
+
+def test_table2_heavy(benchmark, heavy_run):
+    result = once(benchmark, lambda: heavy_run)
+    print_header("Table 2 (heavy workload)  measured / paper")
+    paper = PAPER["table2"]["heavy"]
+    rows = _rows("exp", result.experiment, paper["exp"]) + _rows(
+        "ctrl", result.control, paper["ctrl"]
+    )
+    print(render_table(["group", "u_mean", "u_max", "P_mean", "P_max", "violations"], rows))
+
+    exp = result.experiment.summary
+    ctrl = result.control.summary
+    # Heavy: the uncontrolled group violates massively, Ampere ~never.
+    assert ctrl.violations > 50
+    assert exp.violations <= 5
+    assert exp.violations < 0.05 * ctrl.violations
+    # Controller is clearly active and saturates at the 50% ceiling.
+    assert exp.u_mean > 0.01
+    assert exp.u_max == 0.5
+    # Ampere shaves the peak (exp P_max below ctrl P_max).
+    assert exp.p_max < ctrl.p_max
+
+
+def test_fig10_control_timeline(benchmark, heavy_run):
+    """Figure 10(b): freezing ratio tracks power excursions over the day."""
+
+    def analyze():
+        power = heavy_run.experiment.normalized_power
+        u = heavy_run.experiment.u_values
+        n = min(len(power), len(u))
+        return power[:n], u[:n]
+
+    power, u = once(benchmark, analyze)
+
+    print_header("Figure 10(b): hourly mean power and freezing ratio (heavy)")
+    rows = []
+    for hour in range(0, 24, 2):
+        lo, hi = hour * 60, (hour + 1) * 60
+        rows.append(
+            [hour, f"{power[lo:hi].mean():.3f}", f"{u[lo:hi].mean():.1%}", f"{u[lo:hi].max():.1%}"]
+        )
+    print(render_table(["hour", "P_mean(exp)", "u_mean", "u_max"], rows))
+    from repro.analysis.ascii_plots import sparkline_with_scale
+
+    print()
+    print(sparkline_with_scale("power", power))
+    print(sparkline_with_scale("freeze u", u))
+
+    # Control activity concentrates where power runs hot: the mean freezing
+    # ratio in above-median-power minutes exceeds below-median minutes.
+    import numpy as np
+
+    median_power = np.median(power)
+    hot = u[power > median_power].mean()
+    cold = u[power <= median_power].mean()
+    assert hot > cold

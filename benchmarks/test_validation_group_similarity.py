@@ -1,0 +1,40 @@
+"""Section 4.1.2's harness validation: the parity groups are identical.
+
+Paper: "The difference between the average power is less than 0.46%, and
+the correlation coefficient of the power is 0.946. Thus, we can safely
+assume that any differences between these two groups are results of the
+control actions from Ampere." Every A/B number in the evaluation depends
+on this, so it gets its own benchmark.
+"""
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.sim.testbed import WorkloadSpec
+from repro.sim.validation import validate_group_similarity
+
+
+def test_validation_group_similarity(benchmark):
+    report = once(
+        benchmark,
+        lambda: validate_group_similarity(
+            hours=24.0,
+            n_servers=400,
+            workload=WorkloadSpec.typical(),
+            seed=0,
+        ),
+    )
+
+    print_header("Section 4.1.2 validation: experiment vs control group parity")
+    print(
+        render_table(
+            ["metric", "measured", "paper"],
+            [
+                ["mean power difference", f"{report.mean_power_difference:.3%}", "< 0.46%"],
+                ["power correlation", f"{report.power_correlation:.3f}", "0.946"],
+            ],
+        )
+    )
+
+    assert report.acceptable()
+    assert report.mean_power_difference < 0.005
+    assert report.power_correlation > 0.6

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Calibrate the freeze-effect model f(u) (Section 3.4 / Figure 5).
+
+Runs the paper's controlled calibration: every few minutes, freeze a
+random fraction u of the experiment group's hottest servers for one
+minute and record the power gap that opens against the control group.
+Fitting a line through the origin gives k_r, the single model parameter
+the SPCP controller needs (Eq. 13). Also regenerates the Figure 4
+freeze-decay curve.
+
+Run time: about 20 seconds.
+"""
+
+from repro.analysis.report import render_table
+from repro.sim.calibration import run_freeze_decay, run_freeze_effect_calibration
+from repro.sim.testbed import WorkloadSpec
+
+
+def main() -> None:
+    print("Measuring freeze decay (Figure 4) ...")
+    decay = run_freeze_decay(
+        n_freeze=80, observe_minutes=50, n_servers=400, seed=1,
+        workload=WorkloadSpec(target_utilization=0.30),
+    )
+    curve = decay.mean_power_normalized_to_rated
+    checkpoints = [0, 5, 10, 20, 35, 50]
+    print(
+        render_table(
+            ["minutes since freeze", "mean power / rated"],
+            [[m, f"{curve[m]:.3f}"] for m in checkpoints],
+        )
+    )
+    print()
+
+    print("Calibrating f(u) on a 12h controlled run (Figure 5) ...")
+    calibration = run_freeze_effect_calibration(hours=12.0, n_servers=400, seed=1)
+    summary = calibration.model.binned_percentiles(bin_width=0.1)
+    rows = [
+        [f"{center:.2f}", f"{p[25.0]:+.4f}", f"{p[50.0]:+.4f}", f"{p[75.0]:+.4f}"]
+        for center, p in summary.items()
+    ]
+    print(render_table(["u (bin center)", "p25 f(u)", "median f(u)", "p75 f(u)"], rows))
+    print()
+    print(f"fitted k_r = {calibration.k_r:.4f}  (normalized power / minute per unit u)")
+    print(
+        "Pass this value as ExperimentConfig(k_r=...) or "
+        "FreezeEffectModel(k_r=...); the repository default was produced by "
+        "exactly this procedure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Capacity planning: choose the over-provisioning ratio r_O (Section 4.4).
+
+Sweeps r_O over the paper's candidate values under BOTH the typical
+production workload and a heavy day, using the Section 4.4 experiment
+design: only the experiment group's budget is scaled (the control group
+represents conservative rated-power provisioning), so the throughput
+ratio r_T measures exactly what the over-provisioned row loses to control
+actions and G_TPW = r_T * (1 + r_O) - 1 is the capacity gained per
+provisioned watt.
+
+The paper's conclusion shows up as a worst-case trade-off: a large r_O
+(0.25) looks great on typical days but collapses on heavy days (the
+budget binds, extra servers just idle and get frozen), while a small r_O
+(0.13) is safe but leaves capacity on the table. The robust choice sits
+in between -- the paper deploys 0.17.
+
+Run time: about two minutes.
+"""
+
+from repro.analysis.report import format_percent, render_table
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+RATIOS = (0.13, 0.17, 0.21, 0.25)
+WORKLOADS = {"typical": WorkloadSpec.typical(), "heavy": WorkloadSpec.heavy()}
+
+
+def run_cell(r_o: float, workload: WorkloadSpec) -> float:
+    config = ExperimentConfig(
+        n_servers=400,
+        duration_hours=8.0,
+        warmup_hours=1.0,
+        over_provision_ratio=r_o,
+        scale_control_budget=False,  # Section 4.4 mode
+        workload=workload,
+        seed=7,
+    )
+    return ControlledExperiment(config).run()
+
+
+def main() -> None:
+    gains = {}
+    details = {}
+    for r_o in RATIOS:
+        for level, workload in WORKLOADS.items():
+            result = run_cell(r_o, workload)
+            gains[(r_o, level)] = result.g_tpw
+            details[(r_o, level)] = result
+            print(f"r_O = {r_o:.2f} {level:<8}: G_TPW = {result.g_tpw:.1%}")
+
+    rows = []
+    for r_o in RATIOS:
+        typical = gains[(r_o, "typical")]
+        heavy = gains[(r_o, "heavy")]
+        u_heavy = details[(r_o, "heavy")].experiment.summary.u_mean
+        rows.append(
+            [
+                f"{r_o:.2f}",
+                format_percent(typical),
+                format_percent(heavy),
+                format_percent(min(typical, heavy)),
+                format_percent(u_heavy),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["r_O", "G_TPW typical", "G_TPW heavy", "worst case", "u_mean heavy"],
+            rows,
+        )
+    )
+    best = max(RATIOS, key=lambda r: min(gains[(r, "typical")], gains[(r, "heavy")]))
+    print()
+    print(f"Worst-case-optimal over-provisioning: r_O = {best:.2f}.")
+    print(
+        "The paper deploys r_O = 0.17: beyond it, heavy days spend the gain "
+        "on freezing (u_mean grows) and below it capacity is left unused."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Cross-row power-aware job steering (the paper's Section 6 future work).
+
+Builds a three-row data center where each row carries its own pinned
+product (hot / medium / cold) plus a flexible product free to run
+anywhere. With power-oblivious placement the hot row keeps bumping into
+its budget and Ampere must freeze servers; with the power-aware
+CoolestRowPolicy the flexible jobs drain toward the cold row and the
+controller barely acts -- the scheduler and the power controller stay
+decoupled behind the same freeze/unfreeze interface.
+
+Run time: about 20 seconds.
+"""
+
+from repro.analysis.report import render_table
+from repro.sim.steering_experiment import SteeringConfig, run_steering_comparison
+
+
+def main() -> None:
+    config = SteeringConfig(duration_hours=6.0, seed=1)
+    print(
+        f"Running {config.n_rows} rows (pinned utilizations "
+        f"{config.row_utilizations}) with a flexible product, both placement "
+        "policies ..."
+    )
+    results = run_steering_comparison(config)
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                str(result.total_violations),
+                f"{result.mean_freezing_ratio:.2%}",
+                str(result.throughput),
+                "  ".join(
+                    f"{row}:{mean:.3f}"
+                    for row, mean in sorted(result.row_power_means.items())
+                ),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["placement", "violations", "mean freeze u", "jobs placed", "row power"],
+            rows,
+        )
+    )
+    random_u = results["random"].mean_freezing_ratio
+    steered_u = results["coolest-row"].mean_freezing_ratio
+    print()
+    print(
+        f"Power-aware steering cuts the mean freezing ratio from "
+        f"{random_u:.2%} to {steered_u:.2%} at identical throughput: the "
+        "scheduler does with placement what Ampere would otherwise have to "
+        "do with freezes."
+    )
+
+
+if __name__ == "__main__":
+    main()

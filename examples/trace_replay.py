@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Trace-based A/B: replay an identical job stream under two controllers.
+
+The paper could not isolate production servers for trace-based
+experiments and used a live parity split instead; the simulator can do
+the stronger thing. This example records a two-hour job trace once, then
+replays the byte-identical stream twice on an over-provisioned row: once
+with only DVFS capping enforcing the budget, once with Ampere (capping
+still armed underneath). Because the arrivals are identical, every
+difference is the controller's doing.
+
+Run time: about 30 seconds.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.cluster.capping import CappingEngine
+from repro.core.controller import AmpereController
+from repro.core.freeze_model import FreezeEffectModel
+from repro.sim.testbed import Testbed, WorkloadSpec
+from repro.workload.replay import TraceRecorder, TraceReplayGenerator
+
+HOURS = 3.0
+R_O = 0.25
+# A pronounced peak in the middle of the window: transient overloads are
+# where the two mechanisms differ most (under *sustained* overload even
+# Ampere saturates and the capping safety net engages).
+SPEC = WorkloadSpec(
+    target_utilization=0.33,
+    diurnal_amplitude=0.14,
+    diurnal_phase_seconds=-16200.0,
+)
+
+
+def record_trace() -> list:
+    testbed = Testbed(n_servers=400, seed=21)
+    horizon = HOURS * 3600.0
+    recorder = TraceRecorder()
+    generator = testbed.add_batch_workload(SPEC, horizon)
+    generator.listeners.append(recorder)
+    generator.start(horizon)
+    testbed.run(until=horizon)
+    return recorder.records
+
+
+def replay(records, mode: str):
+    testbed = Testbed(n_servers=400, seed=99)  # different seed: only the
+    row = testbed.row                          # trace carries the workload
+    row.set_over_provision_ratio(R_O)
+    testbed.monitor.register_group(row)
+    horizon = HOURS * 3600.0
+    TraceReplayGenerator(testbed.engine, testbed.scheduler, records).start(horizon)
+    testbed.monitor.start(horizon)
+    capping = CappingEngine(row, testbed.engine)
+    capping.start(horizon)
+    slowdowns = []
+    testbed.scheduler.completion_listeners.append(
+        lambda job, server: slowdowns.append(job.slowdown)
+    )
+    if mode == "ampere":
+        AmpereController(
+            testbed.engine, testbed.scheduler, testbed.monitor, [row],
+            freeze_model=FreezeEffectModel(),
+        ).start(horizon)
+    testbed.run(until=horizon)
+    return {
+        "violations": testbed.monitor.violation_count(row.name),
+        "capped_actions": capping.stats.cap_actions,
+        "completed": testbed.scheduler.stats.completed,
+        "mean_slowdown": float(np.mean(slowdowns)) if slowdowns else 1.0,
+        "p99_slowdown": float(np.percentile(slowdowns, 99)) if slowdowns else 1.0,
+    }
+
+
+def main() -> None:
+    print("Recording a two-hour job trace ...")
+    records = record_trace()
+    print(f"  {len(records)} jobs recorded")
+
+    rows = []
+    for mode in ("capping-only", "ampere"):
+        print(f"Replaying under {mode} ...")
+        outcome = replay(records, mode)
+        rows.append(
+            [
+                mode,
+                str(outcome["completed"]),
+                str(outcome["violations"]),
+                str(outcome["capped_actions"]),
+                f"{outcome['mean_slowdown']:.3f}",
+                f"{outcome['p99_slowdown']:.3f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["mode", "jobs done", "violations", "cap actions",
+             "mean slowdown", "p99 slowdown"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Identical arrivals, different enforcement: with Ampere steering new "
+        "placements away as power approaches the limit, the DVFS safety net "
+        "fires far less often (cap actions above). It still fires on "
+        "sub-minute transients the one-minute controller cannot see -- "
+        "exactly why the paper keeps hardware capping armed underneath."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""ASCII renderings of the paper's figures for terminal output.
+
+The benchmark harness prints series; these helpers turn them into small
+text plots -- a sparkline per series (Figures 8, 10, 12), a grayscale
+heat map (Figure 2), and a column chart (Figure 11) -- so the qualitative
+shape is visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Eight-level block ramp used by sparklines.
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+#: Five-level shade ramp used by heat maps (mirrors Figure 2's grayscale).
+HEAT_LEVELS = " ░▒▓█"
+
+
+def _bin_means(values: np.ndarray, width: int) -> np.ndarray:
+    """Downsample to ``width`` points by averaging equal chunks."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if len(values) <= width:
+        return values
+    edges = np.linspace(0, len(values), width + 1).astype(int)
+    return np.array(
+        [values[lo:hi].mean() for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+    )
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 72,
+    lo: float = None,
+    hi: float = None,
+) -> str:
+    """One-line block-character plot of a series.
+
+    ``lo``/``hi`` pin the value range (useful to share a scale across
+    several sparklines); they default to the series min/max.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("sparkline requires at least one value")
+    binned = _bin_means(array, width)
+    low = array.min() if lo is None else lo
+    high = array.max() if hi is None else hi
+    if high <= low:
+        return SPARK_LEVELS[1] * len(binned)
+    scaled = np.clip((binned - low) / (high - low), 0.0, 1.0)
+    indices = (scaled * (len(SPARK_LEVELS) - 2)).round().astype(int) + 1
+    return "".join(SPARK_LEVELS[i] for i in indices)
+
+
+def sparkline_with_scale(
+    name: str, values: Sequence[float], width: int = 60
+) -> str:
+    """Labelled sparkline with min/max annotations."""
+    array = np.asarray(values, dtype=float)
+    line = sparkline(array, width=width)
+    return f"{name:<12} {array.min():7.3f} |{line}| {array.max():7.3f}"
+
+
+def heatmap(
+    rows: Dict[str, Sequence[float]],
+    width: int = 72,
+    lo: float = None,
+    hi: float = None,
+) -> str:
+    """Multi-row grayscale heat map (Figure 2's presentation).
+
+    All rows share one color scale so spatial imbalance is visible.
+    """
+    if not rows:
+        raise ValueError("heatmap requires at least one row")
+    arrays = {name: np.asarray(v, dtype=float) for name, v in rows.items()}
+    all_values = np.concatenate(list(arrays.values()))
+    low = all_values.min() if lo is None else lo
+    high = all_values.max() if hi is None else hi
+    span = high - low if high > low else 1.0
+    label_width = max(len(name) for name in arrays)
+    lines = []
+    for name, values in arrays.items():
+        binned = _bin_means(values, width)
+        scaled = np.clip((binned - low) / span, 0.0, 1.0)
+        indices = (scaled * (len(HEAT_LEVELS) - 1)).round().astype(int)
+        cells = "".join(HEAT_LEVELS[i] for i in indices)
+        lines.append(f"{name:<{label_width}} |{cells}|")
+    lines.append(f"{'':<{label_width}}  scale: {low:.3f} (light) .. {high:.3f} (dark)")
+    return "\n".join(lines)
+
+
+def column_chart(
+    pairs: Dict[str, float], width: int = 48, unit: str = ""
+) -> str:
+    """Horizontal bar chart for categorical comparisons (Figure 11)."""
+    if not pairs:
+        raise ValueError("column_chart requires at least one entry")
+    top = max(pairs.values())
+    if top <= 0:
+        raise ValueError("column_chart requires a positive maximum")
+    label_width = max(len(k) for k in pairs)
+    lines: List[str] = []
+    for name, value in pairs.items():
+        bar = "█" * max(1, int(round(width * value / top)))
+        lines.append(f"{name:<{label_width}} {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+__all__ = ["sparkline", "sparkline_with_scale", "heatmap", "column_chart"]

@@ -1,0 +1,111 @@
+"""Capacity metrics: violations, TPW and the gain in TPW.
+
+Throughput per Provisioned Watt (Eq. 17):
+
+    TPW = (jobs accepted during T) / (P_M * T)
+
+Gain in TPW by over-provisioning (Eq. 18), with throughput ratio
+``r_T = thru_E / thru_C`` and over-provision ratio ``r_O``:
+
+    G_TPW = r_T * (1 + r_O) - 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def count_violations(power_values: Sequence[float], budget: float = 1.0) -> int:
+    """Number of sampled intervals with power strictly above the budget."""
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    values = np.asarray(power_values, dtype=float)
+    return int(np.sum(values > budget))
+
+
+def throughput_per_watt(
+    jobs_accepted: int, provisioned_watts: float, duration_seconds: float
+) -> float:
+    """Eq. 17: TPW in jobs per watt-second."""
+    if provisioned_watts <= 0 or duration_seconds <= 0:
+        raise ValueError("provisioned_watts and duration_seconds must be positive")
+    if jobs_accepted < 0:
+        raise ValueError(f"jobs_accepted must be non-negative, got {jobs_accepted}")
+    return jobs_accepted / (provisioned_watts * duration_seconds)
+
+
+def throughput_ratio(throughput_experiment: int, throughput_control: int) -> float:
+    """r_T = thru_E / thru_C (generally <= 1: freezing costs throughput)."""
+    if throughput_control <= 0:
+        raise ValueError("control throughput must be positive")
+    if throughput_experiment < 0:
+        raise ValueError("experiment throughput must be non-negative")
+    return throughput_experiment / throughput_control
+
+
+def gain_in_tpw(r_t: float, r_o: float) -> float:
+    """Eq. 18: G_TPW = r_T * (1 + r_O) - 1."""
+    if r_t < 0:
+        raise ValueError(f"r_t must be non-negative, got {r_t}")
+    if r_o < 0:
+        raise ValueError(f"r_o must be non-negative, got {r_o}")
+    return r_t * (1.0 + r_o) - 1.0
+
+
+@dataclass(frozen=True)
+class GroupRunSummary:
+    """Per-group run statistics: one column of the paper's Table 2."""
+
+    name: str
+    p_mean: float
+    p_max: float
+    u_mean: float
+    u_max: float
+    violations: int
+    throughput: int
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            f"{self.u_mean:.1%}",
+            f"{self.u_max:.1%}",
+            f"{self.p_mean:.3f}",
+            f"{self.p_max:.3f}",
+            str(self.violations),
+        ]
+
+
+def summarize_power_series(
+    name: str,
+    normalized_power: Sequence[float],
+    u_history: Sequence[float] = (),
+    throughput: int = 0,
+    budget: float = 1.0,
+) -> GroupRunSummary:
+    """Build a :class:`GroupRunSummary` from raw series."""
+    power = np.asarray(normalized_power, dtype=float)
+    if power.size == 0:
+        raise ValueError("empty power series")
+    u = np.asarray(u_history, dtype=float) if len(u_history) else np.zeros(1)
+    return GroupRunSummary(
+        name=name,
+        p_mean=float(power.mean()),
+        p_max=float(power.max()),
+        u_mean=float(u.mean()),
+        u_max=float(u.max()),
+        violations=count_violations(power, budget),
+        throughput=throughput,
+    )
+
+
+__all__ = [
+    "count_violations",
+    "throughput_per_watt",
+    "throughput_ratio",
+    "gain_in_tpw",
+    "GroupRunSummary",
+    "summarize_power_series",
+]

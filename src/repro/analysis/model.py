@@ -1,0 +1,102 @@
+"""Closed-form steady-state capacity model.
+
+Experiments take minutes; planners want a curve in microseconds. Under
+the repository's power model the steady-state mean of a row's normalized
+power is an affine function of task utilization:
+
+    P_norm(u, r_O) = (f_idle + (1 - f_idle) * min(1, u + b)) * (1 + r_O)
+
+with ``f_idle`` the idle fraction and ``b`` the background utilization.
+From it follow the planner's questions: how hot a workload fits under a
+given over-provisioning ratio, where the controller's threshold starts
+binding, and what G_TPW to expect. The tests validate every prediction
+against full simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.power import PowerModelParams
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Analytic steady-state model of a homogeneous controlled row."""
+
+    power_params: PowerModelParams = PowerModelParams()
+    background_utilization: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.background_utilization < 1.0:
+            raise ValueError(
+                f"background_utilization must be in [0, 1), got "
+                f"{self.background_utilization}"
+            )
+
+    # ------------------------------------------------------------------
+    def predicted_power(self, task_utilization: float, r_o: float = 0.0) -> float:
+        """Mean normalized row power at a given task utilization."""
+        if not 0.0 <= task_utilization <= 1.0:
+            raise ValueError(
+                f"task_utilization must be in [0, 1], got {task_utilization}"
+            )
+        if r_o < 0:
+            raise ValueError(f"r_o must be non-negative, got {r_o}")
+        f_idle = self.power_params.idle_fraction
+        total = min(1.0, task_utilization + self.background_utilization)
+        return (f_idle + (1.0 - f_idle) * total) * (1.0 + r_o)
+
+    def utilization_for_power(self, p_norm: float, r_o: float = 0.0) -> float:
+        """Inverse of :meth:`predicted_power` (task utilization)."""
+        f_idle = self.power_params.idle_fraction
+        total = (p_norm / (1.0 + r_o) - f_idle) / (1.0 - f_idle)
+        utilization = total - self.background_utilization
+        if not -1e-9 <= utilization <= 1.0 + 1e-9:
+            raise ValueError(
+                f"power {p_norm} at r_O={r_o} implies utilization "
+                f"{utilization:.3f} outside [0, 1]"
+            )
+        return min(1.0, max(0.0, utilization))
+
+    def max_safe_utilization(
+        self, r_o: float, threshold: float = 0.975
+    ) -> float:
+        """Highest task utilization that keeps the controller idle.
+
+        Above it, mean power crosses the control threshold and freezing
+        starts eating throughput (the G_TPW collapse of Table 3).
+        """
+        return self.utilization_for_power(threshold, r_o)
+
+    def max_safe_over_provision(
+        self, task_utilization: float, threshold: float = 0.975
+    ) -> float:
+        """Largest r_O keeping mean power under the threshold at this load."""
+        base = self.predicted_power(task_utilization, r_o=0.0)
+        if base <= 0:
+            raise ValueError("degenerate power model")
+        r_o = threshold / base - 1.0
+        if r_o < 0:
+            raise ValueError(
+                f"utilization {task_utilization} already exceeds the "
+                f"threshold with no over-provisioning"
+            )
+        return r_o
+
+    def predicted_gain(self, task_utilization: float, r_o: float,
+                       threshold: float = 0.975) -> float:
+        """First-order G_TPW estimate: full r_O below the threshold, zero
+        above it (the controller freezes away exactly the overshoot)."""
+        if self.predicted_power(task_utilization, r_o) <= threshold:
+            return r_o
+        # Over the threshold the budget binds; extra servers only help in
+        # the head-room that remains (crude but directionally right).
+        headroom = max(
+            0.0, 1.0 - self.predicted_power(task_utilization, 0.0)
+        )
+        usable = min(r_o, headroom / max(1e-9, self.predicted_power(task_utilization, 0.0)))
+        return usable
+
+
+__all__ = ["CapacityModel"]

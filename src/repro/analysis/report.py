@@ -1,0 +1,56 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """``0.177 -> '17.7%'``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    name: str,
+    values: Sequence[float],
+    probabilities: Sequence[float],
+    points: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0),
+) -> str:
+    """Render a CDF as the value reached at selected cumulative probabilities."""
+    if len(values) != len(probabilities):
+        raise ValueError("values and probabilities must have equal length")
+    lines = [f"CDF: {name}"]
+    for p in points:
+        # first index where cumulative probability reaches p
+        for v, q in zip(values, probabilities):
+            if q >= p:
+                lines.append(f"  P{p * 100:5.1f} <= {v:.4g}")
+                break
+    return "\n".join(lines)
+
+
+__all__ = ["render_table", "render_cdf", "format_percent"]

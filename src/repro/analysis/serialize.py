@@ -1,0 +1,103 @@
+"""Serialization of experiment results to plain JSON.
+
+A recorded :class:`~repro.sim.experiment.ExperimentResult` round-trips to
+a JSON document containing the configuration, per-group summaries and the
+measured series, so runs can be archived, diffed across code versions,
+and post-processed without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.analysis.metrics import GroupRunSummary
+from repro.sim.experiment import ExperimentResult, GroupOutcome
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of config values to JSON-safe types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)  # policies and other live objects
+
+
+def summary_to_dict(summary: GroupRunSummary) -> Dict[str, Any]:
+    return {
+        "name": summary.name,
+        "p_mean": summary.p_mean,
+        "p_max": summary.p_max,
+        "u_mean": summary.u_mean,
+        "u_max": summary.u_max,
+        "violations": summary.violations,
+        "throughput": summary.throughput,
+    }
+
+
+def outcome_to_dict(outcome: GroupOutcome, include_series: bool = True) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "summary": summary_to_dict(outcome.summary),
+        "throughput": outcome.throughput,
+    }
+    if include_series:
+        payload["power_times"] = outcome.power_times.tolist()
+        payload["normalized_power"] = outcome.normalized_power.tolist()
+        payload["u_times"] = outcome.u_times.tolist()
+        payload["u_values"] = outcome.u_values.tolist()
+    return payload
+
+
+def result_to_dict(
+    result: ExperimentResult, include_series: bool = True
+) -> Dict[str, Any]:
+    """Full experiment result as a JSON-serializable dict."""
+    return {
+        "config": _jsonable(result.config),
+        "experiment": outcome_to_dict(result.experiment, include_series),
+        "control": outcome_to_dict(result.control, include_series),
+        "r_t": result.r_t,
+        "g_tpw": result.g_tpw,
+    }
+
+
+def save_result_json(
+    result: ExperimentResult,
+    path: Union[str, Path],
+    include_series: bool = True,
+) -> None:
+    """Write a result to ``path`` as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result, include_series), handle, indent=2)
+
+
+def load_result_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a saved result document (as a dict; the live objects are not
+    reconstructed -- archived runs are data, not simulations)."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = [
+    "result_to_dict",
+    "summary_to_dict",
+    "outcome_to_dict",
+    "save_result_json",
+    "load_result_dict",
+]

@@ -1,0 +1,95 @@
+"""Statistical helpers behind the paper's figures.
+
+These implement the exact constructions the paper describes: empirical
+CDFs (Figures 1, 7, 9), first-order power differences and their multi-
+scale variant (Figure 9's k-minute scale), and cross-row power
+correlations (Section 2.2's "80% of the correlation coefficients are
+under 0.33").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``."""
+    values = np.sort(np.asarray(samples, dtype=float))
+    if values.size == 0:
+        raise ValueError("empirical_cdf requires at least one sample")
+    probs = np.arange(1, values.size + 1) / values.size
+    return values, probs
+
+
+def cdf_at(samples: Sequence[float], x: float) -> float:
+    """Fraction of samples <= x."""
+    values = np.asarray(samples, dtype=float)
+    if values.size == 0:
+        raise ValueError("cdf_at requires at least one sample")
+    return float(np.mean(values <= x))
+
+
+def first_order_differences(values: Sequence[float]) -> np.ndarray:
+    """Successive differences ``v[i+1] - v[i]`` (1-minute power changes)."""
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        raise ValueError("need at least two points to difference")
+    return np.diff(array)
+
+
+def k_scale_max_differences(values: Sequence[float], k: int) -> np.ndarray:
+    """Figure 9's k-minute-scale power changes.
+
+    "For the k-minute scale, we compute a sequence of the maximum power
+    for every k minutes, and then plot the CDF of the first order
+    differences of the power sequence." Trailing points that do not fill a
+    complete window are dropped.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    array = np.asarray(values, dtype=float)
+    n_windows = array.size // k
+    if n_windows < 2:
+        raise ValueError(
+            f"need at least 2 complete windows of {k} points, have {array.size} points"
+        )
+    windows = array[: n_windows * k].reshape(n_windows, k)
+    return np.diff(windows.max(axis=1))
+
+
+def pearson_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length series."""
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        raise ValueError("correlation undefined for a constant series")
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def pairwise_correlations(series: Sequence[Sequence[float]]) -> List[float]:
+    """Correlation coefficient of every unordered pair of series."""
+    if len(series) < 2:
+        raise ValueError("need at least two series")
+    out: List[float] = []
+    for i in range(len(series)):
+        for j in range(i + 1, len(series)):
+            out.append(pearson_correlation(series[i], series[j]))
+    return out
+
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_at",
+    "first_order_differences",
+    "k_scale_max_differences",
+    "pearson_correlation",
+    "pairwise_correlations",
+]

@@ -1,0 +1,311 @@
+"""Command-line interface for the Ampere reproduction.
+
+Exposes the main experiment harnesses without writing Python::
+
+    ampere-repro experiment --workload heavy --hours 24 --ro 0.25
+    ampere-repro sweep --hours 12
+    ampere-repro calibrate --hours 12
+    ampere-repro interactive --hours 2
+    ampere-repro trace --days 1
+
+Every command prints the same style of tables the paper reports and exits
+non-zero on invalid arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_percent, render_table
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+WORKLOADS = {
+    "light": WorkloadSpec.light,
+    "typical": WorkloadSpec.typical,
+    "heavy": WorkloadSpec.heavy,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--servers", type=int, default=400, help="fleet size (multiple of 40)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ampere-repro",
+        description="Reproduction of Ampere (EuroSys 2016): statistical power control",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one controlled A/B experiment (Section 4.2)"
+    )
+    _add_common(experiment)
+    experiment.add_argument("--hours", type=float, default=24.0)
+    experiment.add_argument("--ro", type=float, default=0.25, help="over-provision ratio")
+    experiment.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="heavy"
+    )
+    experiment.add_argument(
+        "--no-ampere", action="store_true", help="disable the controller"
+    )
+    experiment.add_argument(
+        "--capping", action="store_true", help="enable the DVFS capping safety net"
+    )
+    experiment.add_argument(
+        "--scale-experiment-only",
+        action="store_true",
+        help="Section 4.4 mode: control group keeps the rated budget",
+    )
+
+    sweep = sub.add_parser("sweep", help="G_TPW sweep over r_O (Table 3 / Section 4.4)")
+    _add_common(sweep)
+    sweep.add_argument("--hours", type=float, default=12.0)
+    sweep.add_argument(
+        "--ratios", type=float, nargs="+", default=[0.13, 0.17, 0.21, 0.25]
+    )
+    sweep.add_argument("--workload", choices=sorted(WORKLOADS), default="typical")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measure f(u) and fit k_r (Section 3.4 / Figure 5)"
+    )
+    _add_common(calibrate)
+    calibrate.add_argument("--hours", type=float, default=12.0)
+
+    interactive = sub.add_parser(
+        "interactive", help="capping vs Ampere tail latency (Figure 11)"
+    )
+    _add_common(interactive)
+    interactive.add_argument("--hours", type=float, default=2.0)
+
+    trace = sub.add_parser(
+        "trace", help="multi-row power characterization (Section 2.2)"
+    )
+    trace.add_argument("--seed", type=int, default=9)
+    trace.add_argument("--days", type=float, default=1.0)
+    trace.add_argument("--rows", type=int, default=5)
+
+    advise = sub.add_parser(
+        "advise", help="recommend r_O from a simulated power history (Section 4.4)"
+    )
+    _add_common(advise)
+    advise.add_argument("--hours", type=float, default=12.0)
+    advise.add_argument("--workload", choices=sorted(WORKLOADS), default="typical")
+    advise.add_argument(
+        "--ratios", type=float, nargs="+", default=[0.13, 0.17, 0.21, 0.25]
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="run a grid of Section 4.4 cells (the Table 3 study)"
+    )
+    _add_common(campaign)
+    campaign.add_argument("--hours", type=float, default=12.0)
+    campaign.add_argument(
+        "--ratios", type=float, nargs="+", default=[0.13, 0.17, 0.21, 0.25]
+    )
+    campaign.add_argument("--seeds", type=int, nargs="+", default=[13])
+    campaign.add_argument("--csv", type=str, default=None, help="write rows to CSV")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def cmd_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        n_servers=args.servers,
+        duration_hours=args.hours,
+        over_provision_ratio=args.ro,
+        workload=WORKLOADS[args.workload](),
+        ampere_enabled=not args.no_ampere,
+        capping_enabled=args.capping,
+        scale_control_budget=not args.scale_experiment_only,
+        seed=args.seed,
+    )
+    result = ControlledExperiment(config).run()
+    print(
+        render_table(
+            ["group", "u_mean", "u_max", "P_mean", "P_max", "violations"],
+            [result.experiment.summary.as_row(), result.control.summary.as_row()],
+        )
+    )
+    print(f"\nr_T = {result.r_t:.3f}   G_TPW = {format_percent(result.g_tpw)}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for r_o in args.ratios:
+        config = ExperimentConfig(
+            n_servers=args.servers,
+            duration_hours=args.hours,
+            over_provision_ratio=r_o,
+            scale_control_budget=False,
+            workload=WORKLOADS[args.workload](),
+            seed=args.seed,
+        )
+        result = ControlledExperiment(config).run()
+        summary = result.experiment.summary
+        rows.append(
+            [
+                f"{r_o:.2f}",
+                f"{summary.p_mean:.3f}",
+                format_percent(summary.u_mean),
+                f"{result.r_t:.3f}",
+                format_percent(result.g_tpw),
+                str(summary.violations),
+            ]
+        )
+    print(render_table(["r_O", "P_mean", "u_mean", "r_T", "G_TPW", "violations"], rows))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.sim.calibration import run_freeze_effect_calibration
+
+    result = run_freeze_effect_calibration(
+        hours=args.hours, n_servers=args.servers, seed=args.seed
+    )
+    summary = result.model.binned_percentiles(bin_width=0.1)
+    rows = [
+        [f"{c:.2f}", f"{p[25.0]:+.4f}", f"{p[50.0]:+.4f}", f"{p[75.0]:+.4f}"]
+        for c, p in summary.items()
+    ]
+    print(render_table(["u", "p25", "median", "p75"], rows))
+    print(f"\nk_r = {result.k_r:.4f}")
+    return 0
+
+
+def cmd_interactive(args: argparse.Namespace) -> int:
+    from repro.sim.interactive_experiment import (
+        InteractiveExperimentConfig,
+        run_interactive_comparison,
+    )
+
+    config = InteractiveExperimentConfig(
+        n_servers=args.servers,
+        duration_hours=args.hours,
+        warmup_hours=0.5,
+        seed=args.seed,
+    )
+    results = run_interactive_comparison(config)
+    rows = []
+    for op in results["capping"].reports:
+        c = results["capping"].reports[op].p999 * 1e6
+        a = results["ampere"].reports[op].p999 * 1e6
+        rows.append([op, f"{c:.0f}", f"{a:.0f}", f"{c / a:.2f}x"])
+    print(render_table(["operation", "capping p99.9 (us)", "ampere p99.9 (us)", "ratio"], rows))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.workload.traces import MultiRowTraceConfig, run_multi_row_trace
+
+    trace = run_multi_row_trace(
+        MultiRowTraceConfig(n_rows=args.rows, days=args.days, seed=args.seed)
+    )
+    rows = []
+    for level in ("rack", "row", "datacenter"):
+        samples = trace.pooled_utilization_samples(level)
+        rows.append([level, f"{samples.mean():.3f}", f"{samples.std():.4f}"])
+    print(render_table(["level", "mean utilization", "std"], rows))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import recommend_over_provision_ratio
+
+    history = ControlledExperiment(
+        ExperimentConfig(
+            n_servers=args.servers,
+            duration_hours=args.hours,
+            over_provision_ratio=0.0,
+            ampere_enabled=False,
+            workload=WORKLOADS[args.workload](),
+            seed=args.seed,
+        )
+    ).run()
+    advice = recommend_over_provision_ratio(
+        history.control.normalized_power, candidate_ratios=tuple(args.ratios)
+    )
+    rows = [
+        [
+            f"{a.ratio:.2f}",
+            f"{a.scaled_percentile_power:.3f}",
+            format_percent(a.fraction_time_over_threshold),
+            format_percent(a.fraction_time_over_budget, digits=2),
+            format_percent(a.expected_min_gain),
+        ]
+        for a in advice.assessments
+    ]
+    print(
+        render_table(
+            ["r_O", "p95 power (scaled)", "time over threshold",
+             "time over budget", "expected min gain"],
+            rows,
+        )
+    )
+    print(f"\nrecommended over-provision ratio: {advice.recommended_ratio:.2f}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.sim.campaign import Campaign
+
+    campaign = Campaign(
+        ratios=tuple(args.ratios),
+        seeds=tuple(args.seeds),
+        n_servers=args.servers,
+        duration_hours=args.hours,
+    )
+    print(f"running {len(campaign)} cells ...")
+    result = campaign.run(
+        on_cell=lambda cell, outcome: print(
+            f"  {cell.label()}: G_TPW = {format_percent(outcome.g_tpw)}"
+        )
+    )
+    rows = [
+        [
+            f"{row.cell.over_provision_ratio:.2f}",
+            row.cell.workload_name,
+            f"{row.p_mean:.3f}",
+            format_percent(row.u_mean),
+            f"{row.r_t:.3f}",
+            format_percent(row.g_tpw),
+            str(row.violations),
+        ]
+        for row in result.rows
+    ]
+    print(render_table(
+        ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"], rows))
+    print(f"\nworst-case-optimal r_O: {result.best_ratio('worst_case'):.2f}")
+    if args.csv:
+        result.save_csv(args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+COMMANDS = {
+    "experiment": cmd_experiment,
+    "sweep": cmd_sweep,
+    "calibrate": cmd_calibrate,
+    "interactive": cmd_interactive,
+    "trace": cmd_trace,
+    "advise": cmd_advise,
+    "campaign": cmd_campaign,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Server power model.
+
+The model follows the shape established by Fan et al. (Power provisioning
+for a warehouse-sized computer) and matches the behaviour the paper
+measures on its own fleet:
+
+- Idle power is a large fraction of rated power. Figure 4 of the paper
+  shows a frozen server decaying from ~0.82 to ~0.70 of rated power once
+  its jobs drain, so the default ``idle_fraction`` is 0.65 (the figure's
+  floor includes residual background daemons, which we model as a small
+  baseline utilization in the workload, not here).
+- Dynamic power scales with task utilization raised to
+  ``utilization_exponent`` (1.0 = linear, the common approximation).
+- DVFS frequency scaling reduces *dynamic* power roughly quadratically
+  (voltage tracks frequency), captured by ``frequency_power_exponent``.
+  Capping a busy server therefore saves power but slows work down
+  proportionally to frequency -- exactly the SLA-damaging trade the paper
+  measures in Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerModelParams:
+    """Parameters of the affine utilization-to-power model.
+
+    Attributes
+    ----------
+    rated_watts:
+        Measured maximum power draw of the server (the paper provisions on
+        this "rated power", not the higher name-plate power). The paper's
+        typical server is ~250 W.
+    idle_fraction:
+        Idle power as a fraction of rated power.
+    utilization_exponent:
+        Exponent applied to utilization in the dynamic-power term.
+    frequency_power_exponent:
+        Exponent applied to the DVFS frequency multiplier in the
+        dynamic-power term.
+    """
+
+    rated_watts: float = 250.0
+    idle_fraction: float = 0.65
+    utilization_exponent: float = 1.0
+    frequency_power_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rated_watts <= 0:
+            raise ValueError(f"rated_watts must be positive, got {self.rated_watts}")
+        if not 0.0 <= self.idle_fraction < 1.0:
+            raise ValueError(
+                f"idle_fraction must be in [0, 1), got {self.idle_fraction}"
+            )
+        if self.utilization_exponent <= 0:
+            raise ValueError(
+                f"utilization_exponent must be positive, got {self.utilization_exponent}"
+            )
+        if self.frequency_power_exponent < 0:
+            raise ValueError(
+                "frequency_power_exponent must be non-negative, got "
+                f"{self.frequency_power_exponent}"
+            )
+
+    @property
+    def idle_watts(self) -> float:
+        """Absolute idle power in watts."""
+        return self.rated_watts * self.idle_fraction
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Maximum dynamic (utilization-dependent) power in watts."""
+        return self.rated_watts - self.idle_watts
+
+
+def server_power_watts(
+    params: PowerModelParams, utilization: float, frequency: float = 1.0
+) -> float:
+    """Instantaneous server power draw in watts.
+
+    Parameters
+    ----------
+    params:
+        Power-model parameters for the server.
+    utilization:
+        Fraction of CPU cores occupied by running tasks, in [0, 1].
+    frequency:
+        DVFS frequency multiplier in (0, 1]; 1.0 means uncapped.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    if not 0.0 < frequency <= 1.0:
+        raise ValueError(f"frequency must be in (0, 1], got {frequency}")
+    dynamic = (
+        params.dynamic_watts
+        * utilization**params.utilization_exponent
+        * frequency**params.frequency_power_exponent
+    )
+    return params.idle_watts + dynamic
+
+
+# Discrete DVFS P-state frequency multipliers, highest first. Real RAPL
+# exposes finer granularity; six states are enough to reproduce the
+# capping behaviour the paper compares against.
+DVFS_FREQUENCIES = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+def next_lower_frequency(frequency: float) -> float:
+    """The next DVFS step below ``frequency`` (saturates at the lowest)."""
+    for step in DVFS_FREQUENCIES:
+        if step < frequency - 1e-12:
+            return step
+    return DVFS_FREQUENCIES[-1]
+
+
+def next_higher_frequency(frequency: float) -> float:
+    """The next DVFS step above ``frequency`` (saturates at 1.0)."""
+    for step in reversed(DVFS_FREQUENCIES):
+        if step > frequency + 1e-12:
+            return step
+    return DVFS_FREQUENCIES[0]
+
+
+__all__ = [
+    "PowerModelParams",
+    "server_power_watts",
+    "DVFS_FREQUENCIES",
+    "next_lower_frequency",
+    "next_higher_frequency",
+]

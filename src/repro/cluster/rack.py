@@ -1,0 +1,33 @@
+"""Rack: ~40 servers behind an 8-10 kW rack-level budget."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cluster.group import ServerGroup
+from repro.cluster.server import Server
+
+
+class Rack(ServerGroup):
+    """A rack of servers.
+
+    The paper's data centers put ~40 servers of ~250 W rated power behind a
+    10 kW rack budget. Racks matter to the reproduction mainly for Figure 1
+    (power-utilization CDFs are computed at rack, row and data-center
+    scale); control never happens at rack level by design choice 1 of
+    Section 3.1.
+    """
+
+    def __init__(
+        self,
+        rack_id: int,
+        servers: Iterable[Server],
+        power_budget_watts: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"rack-{rack_id}", servers, power_budget_watts)
+        self.rack_id = rack_id
+        for server in self.servers:
+            server.rack_id = rack_id
+
+
+__all__ = ["Rack"]

@@ -1,0 +1,80 @@
+"""Row: ~20 racks behind one PDU, the unit Ampere controls.
+
+The row-level PDU budget is enforced physically by a circuit breaker. A
+*power violation* in the paper is one monitoring interval in which row
+power exceeds the provisioned budget; the breaker itself only trips on a
+sustained, larger overload (which would be catastrophic and never happens
+in any of the paper's experiments). Both are modelled here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cluster.group import ServerGroup
+from repro.cluster.rack import Rack
+
+
+class Row(ServerGroup):
+    """A row of racks fed by one PDU.
+
+    Parameters
+    ----------
+    row_id:
+        Unique row id within the data center.
+    racks:
+        Member racks; the row's servers are the union of rack servers.
+    power_budget_watts:
+        PDU budget ``P_M``. Defaults to the sum of rack budgets when those
+        are set, else to the sum of rated server power.
+    breaker_trip_ratio:
+        The breaker trips if row power exceeds ``trip_ratio * budget``
+        (instantaneously, when sampled). Commercial breakers carry margin
+        above the rated limit; 1.10 is a representative value.
+    """
+
+    def __init__(
+        self,
+        row_id: int,
+        racks: Iterable[Rack],
+        power_budget_watts: Optional[float] = None,
+        breaker_trip_ratio: float = 1.10,
+    ) -> None:
+        self.racks: List[Rack] = list(racks)
+        if not self.racks:
+            raise ValueError(f"row {row_id} must contain at least one rack")
+        servers = [s for rack in self.racks for s in rack.servers]
+        if power_budget_watts is None:
+            power_budget_watts = sum(r.power_budget_watts for r in self.racks)
+        super().__init__(f"row-{row_id}", servers, power_budget_watts)
+        self.row_id = row_id
+        if breaker_trip_ratio < 1.0:
+            raise ValueError(
+                f"breaker_trip_ratio must be >= 1.0, got {breaker_trip_ratio}"
+            )
+        self.breaker_trip_ratio = breaker_trip_ratio
+        self.breaker_tripped = False
+        for server in servers:
+            server.row_id = row_id
+
+    def check_breaker(self) -> bool:
+        """Evaluate the breaker against current power; returns tripped state.
+
+        Once tripped the breaker latches (a real trip takes the whole row
+        down and requires manual intervention); simulations treat a trip as
+        a terminal failure of the run.
+        """
+        if not self.breaker_tripped:
+            limit = self.breaker_trip_ratio * self.power_budget_watts
+            if self.power_watts() > limit:
+                self.breaker_tripped = True
+        return self.breaker_tripped
+
+    def set_over_provision_ratio(self, r_o: float) -> None:
+        """Scale row and member-rack budgets together (Eq. 16)."""
+        super().set_over_provision_ratio(r_o)
+        for rack in self.racks:
+            rack.set_over_provision_ratio(r_o)
+
+
+__all__ = ["Row"]

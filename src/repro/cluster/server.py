@@ -1,0 +1,231 @@
+"""Server: resources, running tasks, DVFS state and the frozen flag.
+
+A server hosts batch-job tasks placed by the scheduler. Freezing a server
+(the Ampere control action) only flips an advisory flag -- running jobs are
+untouched, which is the central SLA property of the paper's design. DVFS
+frequency changes *do* affect running jobs (they slow down), and the server
+notifies registered listeners so the scheduler can reschedule completion
+events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.cluster.power import PowerModelParams, server_power_watts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.workload.job import Job
+
+FrequencyListener = Callable[["Server", float, float], None]
+
+
+class Server:
+    """A single simulated server.
+
+    Parameters
+    ----------
+    server_id:
+        Unique integer id within the data center. The controlled-experiment
+        harness splits servers into groups by the parity of this id,
+        mirroring the paper's setup (Section 4.1.2).
+    cores / memory_gb:
+        Schedulable resource capacities.
+    power_params:
+        Parameters of the utilization-to-power model.
+    background_utilization:
+        Constant utilization consumed by system daemons; keeps an idle
+        production server above the model's idle floor, matching Figure 4's
+        ~0.70-of-rated floor for drained servers.
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        cores: int = 16,
+        memory_gb: float = 64.0,
+        power_params: PowerModelParams = PowerModelParams(),
+        background_utilization: float = 0.05,
+        rack_id: int = -1,
+        row_id: int = -1,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        if memory_gb <= 0:
+            raise ValueError(f"memory_gb must be positive, got {memory_gb}")
+        if not 0.0 <= background_utilization < 1.0:
+            raise ValueError(
+                f"background_utilization must be in [0, 1), got {background_utilization}"
+            )
+        self.server_id = server_id
+        self.rack_id = rack_id
+        self.row_id = row_id
+        self.cores = cores
+        self.memory_gb = memory_gb
+        self.power_params = power_params
+        self.background_utilization = background_utilization
+
+        self.frozen = False
+        self.failed = False
+        self.powered_off = False
+        self.frequency = 1.0
+        self.used_cores = 0.0
+        self.used_memory_gb = 0.0
+        self.tasks: Dict[int, "Job"] = {}
+        self.frequency_listeners: List[FrequencyListener] = []
+        # Power is read every capping tick (seconds) but changes only on
+        # task placement/completion or a DVFS step, so cache it.
+        self._power_cache: Optional[float] = None
+
+        # Lifetime accounting used by the evaluation metrics.
+        self.jobs_started = 0
+        self.jobs_completed = 0
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+    @property
+    def free_cores(self) -> float:
+        return self.cores - self.used_cores
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.memory_gb - self.used_memory_gb
+
+    def can_fit(self, cores: float, memory_gb: float) -> bool:
+        """Whether a task with the given demands fits right now."""
+        return (
+            self.used_cores + cores <= self.cores + 1e-9
+            and self.used_memory_gb + memory_gb <= self.memory_gb + 1e-9
+        )
+
+    def add_task(self, job: "Job") -> None:
+        """Attach a placed job's resource demand to this server."""
+        if job.job_id in self.tasks:
+            raise ValueError(f"job {job.job_id} already running on server {self.server_id}")
+        if not self.can_fit(job.cores, job.memory_gb):
+            raise ValueError(
+                f"job {job.job_id} does not fit on server {self.server_id}: "
+                f"needs {job.cores}c/{job.memory_gb}g, "
+                f"free {self.free_cores:.1f}c/{self.free_memory_gb:.1f}g"
+            )
+        self.tasks[job.job_id] = job
+        self.used_cores += job.cores
+        self.used_memory_gb += job.memory_gb
+        self.jobs_started += 1
+        self._power_cache = None
+
+    def remove_task(self, job: "Job") -> None:
+        """Release a finished (or killed) job's resources."""
+        if job.job_id not in self.tasks:
+            raise KeyError(f"job {job.job_id} not running on server {self.server_id}")
+        del self.tasks[job.job_id]
+        self.used_cores -= job.cores
+        self.used_memory_gb -= job.memory_gb
+        # Guard against float drift accumulating into tiny negatives.
+        if self.used_cores < 1e-9:
+            self.used_cores = 0.0
+        if self.used_memory_gb < 1e-9:
+            self.used_memory_gb = 0.0
+        self.jobs_completed += 1
+        self._power_cache = None
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        """Fraction of cores busy, including the background daemons."""
+        task_util = self.used_cores / self.cores
+        return min(1.0, self.background_utilization + task_util)
+
+    def power_watts(self) -> float:
+        """Instantaneous true power draw (no measurement noise).
+
+        A failed or powered-off server draws nothing (its PSU is off or
+        the machine is pulled for repair).
+        """
+        if self.failed or self.powered_off:
+            return 0.0
+        if self._power_cache is None:
+            self._power_cache = server_power_watts(
+                self.power_params, self.utilization, self.frequency
+            )
+        return self._power_cache
+
+    @property
+    def rated_watts(self) -> float:
+        return self.power_params.rated_watts
+
+    # ------------------------------------------------------------------
+    # Control surfaces
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Advise the scheduler to stop placing new jobs here.
+
+        Idempotent; running jobs are unaffected (the paper's key property).
+        """
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        """Make the server schedulable again. Idempotent."""
+        self.frozen = False
+
+    def power_off(self) -> None:
+        """Enter a PowerNap-style off state. Only valid when idle --
+        consolidation baselines never migrate running work."""
+        if self.tasks:
+            raise RuntimeError(
+                f"cannot power off server {self.server_id}: {len(self.tasks)} "
+                "tasks are running"
+            )
+        self.powered_off = True
+        self._power_cache = None
+
+    def power_on(self) -> None:
+        """Return from the off state, idle and at full frequency."""
+        self.powered_off = False
+        self.frequency = 1.0
+        self._power_cache = None
+
+    def fail(self) -> None:
+        """Mark the machine down. The scheduler is responsible for killing
+        and resubmitting its tasks (see ``OmegaScheduler.fail_server``)."""
+        self.failed = True
+        self._power_cache = None
+
+    def repair(self) -> None:
+        """Bring the machine back, empty and at full frequency."""
+        self.failed = False
+        self.frequency = 1.0
+        self._power_cache = None
+
+    def set_frequency(self, frequency: float) -> None:
+        """Change the DVFS frequency multiplier and notify listeners.
+
+        Listeners (the scheduler's completion bookkeeping, interactive
+        services) receive ``(server, old_frequency, new_frequency)``.
+        """
+        if not 0.0 < frequency <= 1.0:
+            raise ValueError(f"frequency must be in (0, 1], got {frequency}")
+        if frequency == self.frequency:
+            return
+        old = self.frequency
+        self.frequency = frequency
+        self._power_cache = None
+        for listener in self.frequency_listeners:
+            listener(self, old, frequency)
+
+    @property
+    def is_capped(self) -> bool:
+        return self.frequency < 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "frozen" if self.frozen else "active"
+        return (
+            f"Server(id={self.server_id}, {state}, f={self.frequency:.2f}, "
+            f"util={self.utilization:.2f}, tasks={len(self.tasks)})"
+        )
+
+
+__all__ = ["Server", "FrequencyListener"]

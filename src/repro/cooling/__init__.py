@@ -1,0 +1,24 @@
+"""Workload-sensitive cooling control (the paper's second future work).
+
+Section 6: "we believe the simple statistical interface is a promising
+design to connect the low-level data center infrastructure to the
+higher-level software components ... We are building a workload-sensitive
+cooling control system based on a similar interface."
+
+This package builds that system on the same substrate: a row-level
+thermal model (:mod:`repro.cooling.thermal`) and a controller
+(:mod:`repro.cooling.controller`) that -- exactly like Ampere -- consumes
+only the per-minute aggregated row power from the monitor, keeps a
+conservative one-interval safety margin, and actuates through a minimal
+two-knob interface (airflow, supply temperature).
+"""
+
+from repro.cooling.thermal import CoolingUnit, ThermalParams
+from repro.cooling.controller import CoolingController, CoolingControllerConfig
+
+__all__ = [
+    "CoolingUnit",
+    "ThermalParams",
+    "CoolingController",
+    "CoolingControllerConfig",
+]

@@ -1,0 +1,160 @@
+"""Workload-sensitive cooling controller on Ampere's statistical pattern.
+
+Like Ampere, the controller runs every monitoring interval, reads only
+the aggregated row power from the monitor, adds a conservative
+one-interval demand margin E_t, and actuates a minimal interface. Every
+tick it:
+
+1. predicts the worst-case IT power for the next interval,
+   ``Q = P_now * (1 + margin)`` with the margin from the same demand
+   estimator family Ampere uses;
+2. sets the supply setpoint as warm as the inlet limit allows (warmer
+   supply = better chiller COP = less energy);
+3. sets the airflow to the minimum that keeps the outlet under its limit
+   at the predicted load, plus a small actuation margin, never below a
+   floor fraction of maximum.
+
+The baseline it is evaluated against is the standard static worst-case
+configuration: coldest setpoint, airflow sized for the row's rated
+power -- safe but maximally wasteful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.group import ServerGroup
+from repro.cooling.thermal import CoolingUnit
+from repro.core.demand import ConstantDemandEstimator, DemandEstimator
+from repro.monitor.power_monitor import PowerMonitor
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+
+
+@dataclass(frozen=True)
+class CoolingControllerConfig:
+    """Tunables of the cooling controller."""
+
+    control_interval: float = 60.0
+    #: extra airflow above the computed requirement
+    airflow_margin: float = 0.10
+    #: never run fans below this fraction of max (pressurization floor)
+    min_airflow_fraction: float = 0.15
+    #: safety gap kept between supply setpoint and the inlet limit
+    inlet_margin_c: float = 1.0
+    #: default relative one-interval power increase (E_t analogue)
+    default_power_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.control_interval <= 0:
+            raise ValueError("control_interval must be positive")
+        if self.airflow_margin < 0:
+            raise ValueError("airflow_margin must be non-negative")
+        if not 0.0 < self.min_airflow_fraction <= 1.0:
+            raise ValueError("min_airflow_fraction must be in (0, 1]")
+        if self.inlet_margin_c < 0:
+            raise ValueError("inlet_margin_c must be non-negative")
+
+
+class CoolingController:
+    """Per-row workload-sensitive cooling control loop."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        monitor: PowerMonitor,
+        group: ServerGroup,
+        unit: CoolingUnit,
+        config: CoolingControllerConfig = CoolingControllerConfig(),
+        demand_estimator: Optional[DemandEstimator] = None,
+    ) -> None:
+        self.engine = engine
+        self.monitor = monitor
+        self.group = group
+        self.unit = unit
+        self.config = config
+        self.demand_estimator = (
+            demand_estimator
+            if demand_estimator is not None
+            else ConstantDemandEstimator(config.default_power_margin)
+        )
+        self.ticks = 0
+
+    def start(self, until: float, first_at: Optional[float] = None) -> None:
+        self.engine.schedule_periodic(
+            self.config.control_interval,
+            EventPriority.CONTROLLER_TICK,
+            self.tick,
+            first_at=first_at,
+            until=until,
+        )
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """One control action, then account the interval's energy."""
+        self.ticks += 1
+        try:
+            it_power = self.monitor.latest_power(self.group.name)
+        except (KeyError, LookupError):
+            it_power = self.group.rated_watts()  # no data yet: assume worst
+        margin = self.demand_estimator.estimate(self.engine.now)
+        predicted = it_power * (1.0 + max(0.0, margin))
+        predicted = min(predicted, self.group.rated_watts())
+
+        params = self.unit.params
+        # Warmest safe setpoint maximizes chiller COP.
+        supply = params.max_inlet_c - self.config.inlet_margin_c
+        self.unit.set_supply_temperature(max(params.min_supply_c, supply))
+        # Minimum airflow for the predicted load, plus margins and floor.
+        required = self.unit.required_airflow(predicted)
+        airflow = required * (1.0 + self.config.airflow_margin)
+        airflow = max(airflow, params.max_airflow_m3s * self.config.min_airflow_fraction)
+        airflow = min(airflow, params.max_airflow_m3s)
+        self.unit.set_airflow(airflow)
+
+        # Account the interval against the *actual* current power (the
+        # violation check is what punishes a bad prediction).
+        self.unit.evaluate(self.group.power_watts(), self.config.control_interval)
+        self.monitor.db.write(
+            f"cooling_power/{self.group.name}",
+            self.engine.now,
+            self.unit.cooling_power_watts(self.group.power_watts()),
+        )
+
+
+class StaticWorstCaseCooling:
+    """Baseline: knobs fixed for the rated load, coldest setpoint."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        group: ServerGroup,
+        unit: CoolingUnit,
+        interval: float = 60.0,
+    ) -> None:
+        self.engine = engine
+        self.group = group
+        self.unit = unit
+        self.interval = interval
+        unit.set_supply_temperature(unit.params.min_supply_c)
+        required = unit.required_airflow(group.rated_watts()) * 1.10
+        unit.set_airflow(
+            min(max(required, unit.params.max_airflow_m3s * 0.15),
+                unit.params.max_airflow_m3s)
+        )
+
+    def start(self, until: float, first_at: Optional[float] = None) -> None:
+        self.engine.schedule_periodic(
+            self.interval,
+            EventPriority.CONTROLLER_TICK,
+            self.tick,
+            first_at=first_at,
+            until=until,
+        )
+
+    def tick(self) -> None:
+        self.unit.evaluate(self.group.power_watts(), self.interval)
+
+
+__all__ = ["CoolingController", "CoolingControllerConfig", "StaticWorstCaseCooling"]

@@ -1,0 +1,163 @@
+"""Row-level thermal and cooling-power model.
+
+A row's IT power is dissipated as heat into the cold-aisle air stream
+supplied by a CRAH/CRAC unit. Steady-state energy balance over the air
+stream:
+
+    T_outlet = T_supply + Q / (rho * c_p * airflow)
+
+with ``Q`` the row's IT power (W), ``airflow`` in m^3/s, and
+``rho * c_p ~ 1200 J/(m^3 K)`` for air. The cooling unit spends power in
+two places:
+
+- **Fans**: cubic in airflow, ``P_fan = P_fan_max * (airflow/max)^3``.
+- **Chiller**: ``P_chiller = Q / COP(T_supply)`` where the coefficient of
+  performance improves with warmer supply air (the standard free-cooling
+  economics), modelled as an affine function of the setpoint.
+
+The operational constraints are ASHRAE-style: server inlet (== supply)
+temperature at most ``max_inlet_c`` and outlet temperature at most
+``max_outlet_c``. A *thermal violation* is one evaluation with the outlet
+above the limit -- the cooling analogue of the paper's power violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Volumetric heat capacity of air, J / (m^3 * K).
+AIR_RHO_CP = 1200.0
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Physical parameters of one row's cooling unit."""
+
+    max_airflow_m3s: float = 50.0
+    fan_power_max_watts: float = 12_000.0
+    #: COP(T_supply) = cop_base + cop_slope * (T_supply - cop_ref_c)
+    cop_base: float = 3.5
+    cop_slope: float = 0.12
+    cop_ref_c: float = 15.0
+    min_supply_c: float = 14.0
+    max_inlet_c: float = 27.0
+    max_outlet_c: float = 45.0
+    #: First-order thermal time constant in seconds; 0 = steady-state
+    #: (the air stream has little mass, but racks and containment have
+    #: enough that sub-minute spikes are filtered -- enable for dynamic
+    #: studies).
+    thermal_time_constant_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_airflow_m3s <= 0:
+            raise ValueError(f"max_airflow must be positive, got {self.max_airflow_m3s}")
+        if self.fan_power_max_watts < 0:
+            raise ValueError("fan_power_max_watts must be non-negative")
+        if self.min_supply_c >= self.max_inlet_c:
+            raise ValueError("min_supply_c must be below max_inlet_c")
+        if self.max_inlet_c >= self.max_outlet_c:
+            raise ValueError("max_inlet_c must be below max_outlet_c")
+        if self.thermal_time_constant_s < 0:
+            raise ValueError("thermal_time_constant_s must be non-negative")
+
+    def cop(self, supply_c: float) -> float:
+        """Chiller coefficient of performance at a supply setpoint."""
+        return self.cop_base + self.cop_slope * (supply_c - self.cop_ref_c)
+
+
+class CoolingUnit:
+    """One row's cooling actuator: two knobs, a few readbacks.
+
+    Mirrors Ampere's minimal interface philosophy: the controller may call
+    :meth:`set_airflow` and :meth:`set_supply_temperature`, and read
+    temperatures/power; nothing else about the cooling plant is exposed.
+    """
+
+    def __init__(self, params: ThermalParams = ThermalParams()) -> None:
+        self.params = params
+        self.airflow_m3s = params.max_airflow_m3s
+        self.supply_c = params.min_supply_c
+        self.thermal_violations = 0
+        self.evaluations = 0
+        self.cooling_energy_joules = 0.0
+        #: dynamic outlet temperature; tracks steady state through the
+        #: first-order lag when thermal_time_constant_s > 0
+        self.outlet_c = params.min_supply_c
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def set_airflow(self, airflow_m3s: float) -> None:
+        if not 0.0 < airflow_m3s <= self.params.max_airflow_m3s + 1e-9:
+            raise ValueError(
+                f"airflow must be in (0, {self.params.max_airflow_m3s}], "
+                f"got {airflow_m3s}"
+            )
+        self.airflow_m3s = min(airflow_m3s, self.params.max_airflow_m3s)
+
+    def set_supply_temperature(self, supply_c: float) -> None:
+        if not self.params.min_supply_c <= supply_c <= self.params.max_inlet_c:
+            raise ValueError(
+                f"supply temperature must be in "
+                f"[{self.params.min_supply_c}, {self.params.max_inlet_c}], "
+                f"got {supply_c}"
+            )
+        self.supply_c = supply_c
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+    def outlet_temperature_c(self, it_power_watts: float) -> float:
+        """Hot-aisle temperature for the current knobs and IT load."""
+        if it_power_watts < 0:
+            raise ValueError(f"it_power_watts must be non-negative, got {it_power_watts}")
+        return self.supply_c + it_power_watts / (AIR_RHO_CP * self.airflow_m3s)
+
+    def fan_power_watts(self) -> float:
+        ratio = self.airflow_m3s / self.params.max_airflow_m3s
+        return self.params.fan_power_max_watts * ratio**3
+
+    def chiller_power_watts(self, it_power_watts: float) -> float:
+        return it_power_watts / self.params.cop(self.supply_c)
+
+    def cooling_power_watts(self, it_power_watts: float) -> float:
+        """Total cooling overhead for the current knob settings."""
+        return self.fan_power_watts() + self.chiller_power_watts(it_power_watts)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def evaluate(self, it_power_watts: float, interval_seconds: float) -> float:
+        """Account one interval: energy spent and violation check.
+
+        With a thermal time constant configured, the observed outlet
+        temperature lags the steady state through a first-order response
+        (rack/containment thermal mass filters sub-interval spikes);
+        otherwise the steady-state value is used directly. Returns the
+        cooling power during the interval.
+        """
+        if interval_seconds <= 0:
+            raise ValueError(f"interval must be positive, got {interval_seconds}")
+        self.evaluations += 1
+        power = self.cooling_power_watts(it_power_watts)
+        self.cooling_energy_joules += power * interval_seconds
+        steady = self.outlet_temperature_c(it_power_watts)
+        tau = self.params.thermal_time_constant_s
+        if tau > 0:
+            import math
+
+            decay = math.exp(-interval_seconds / tau)
+            self.outlet_c = steady + (self.outlet_c - steady) * decay
+        else:
+            self.outlet_c = steady
+        if self.outlet_c > self.params.max_outlet_c + 1e-9:
+            self.thermal_violations += 1
+        return power
+
+    def required_airflow(self, it_power_watts: float) -> float:
+        """Minimum airflow keeping the outlet at the limit for this load."""
+        headroom = self.params.max_outlet_c - self.supply_c
+        return it_power_watts / (AIR_RHO_CP * headroom)
+
+
+__all__ = ["CoolingUnit", "ThermalParams", "AIR_RHO_CP"]

@@ -1,0 +1,224 @@
+"""The Ampere controller: Algorithm 1 over one or more rows.
+
+Each control interval (one minute), for every controlled row the
+controller:
+
+1. reads the latest aggregated row power from the monitor,
+2. obtains the predicted next-interval increase E_t from the demand
+   estimator, which defines the threshold ratio ``r_threshold = P_M - E_t``,
+3. if power is above the threshold, computes the optimal freezing ratio
+   from the SPCP closed form (Eq. 13), clamps it to the operational
+   ceiling, converts it to a server count, and
+4. reconciles the frozen set via :func:`~repro.core.policy.plan_freeze_set`
+   (highest-power-first with r_stable hysteresis), issuing only
+   ``freeze``/``unfreeze`` calls to the scheduler;
+5. below the threshold, it unfreezes everything.
+
+The controller is stateless with respect to the frozen set -- it re-derives
+membership from the scheduler each tick, so a restarted controller resumes
+cleanly (the paper's failover property, Section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.group import ServerGroup
+from repro.core.config import AmpereConfig
+from repro.core.demand import ConstantDemandEstimator, DemandEstimator
+from repro.core.freeze_model import FreezeEffectModel
+from repro.core.policy import plan_freeze_set
+from repro.core.rhc import pcp_optimal_sequence, spcp_optimal_ratio, threshold_ratio
+from repro.monitor.power_monitor import PowerMonitor
+from repro.scheduler.base import SchedulerInterface
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+
+
+@dataclass
+class RowControlState:
+    """Per-row control bookkeeping and statistics."""
+
+    group: ServerGroup
+    server_ids: frozenset
+    ticks: int = 0
+    active_ticks: int = 0
+    freeze_actions: int = 0
+    unfreeze_actions: int = 0
+    #: history of (time, commanded u_t) -- Table 2's u_mean / u_max inputs
+    u_history: List[float] = field(default_factory=list)
+    u_times: List[float] = field(default_factory=list)
+    #: one-step prediction residuals: actual P_{t+1} minus the model's
+    #: P_t + E_t - k_r * u_t. Negative on average when E_t is the paper's
+    #: conservative 99.5th-percentile margin -- by design; RHC feedback is
+    #: what absorbs this bias every interval.
+    prediction_residuals: List[float] = field(default_factory=list)
+    _last_prediction: Optional[float] = None
+
+    @property
+    def u_mean(self) -> float:
+        return sum(self.u_history) / len(self.u_history) if self.u_history else 0.0
+
+    @property
+    def u_max(self) -> float:
+        return max(self.u_history) if self.u_history else 0.0
+
+    def residual_summary(self) -> dict:
+        """Mean/std/max of the one-step model residuals (diagnostics)."""
+        if not self.prediction_residuals:
+            return {"count": 0, "mean": 0.0, "std": 0.0, "max_abs": 0.0}
+        residuals = self.prediction_residuals
+        mean = sum(residuals) / len(residuals)
+        variance = sum((r - mean) ** 2 for r in residuals) / len(residuals)
+        return {
+            "count": len(residuals),
+            "mean": mean,
+            "std": variance**0.5,
+            "max_abs": max(abs(r) for r in residuals),
+        }
+
+
+class AmpereController:
+    """Statistical power controller (the paper's central contribution).
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine for the periodic control loop.
+    scheduler:
+        Anything implementing the two-call freeze/unfreeze interface.
+    monitor:
+        Power monitor; every controlled group must be registered there.
+    groups:
+        The rows (or virtual experiment groups) to control.
+    config:
+        Controller parameters; defaults are the paper's production values.
+    freeze_model:
+        The f(u) model providing k_r.
+    demand_estimator:
+        E_t provider; defaults to a constant conservative margin.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: SchedulerInterface,
+        monitor: PowerMonitor,
+        groups: Iterable[ServerGroup],
+        config: AmpereConfig = AmpereConfig(),
+        freeze_model: Optional[FreezeEffectModel] = None,
+        demand_estimator: Optional[DemandEstimator] = None,
+    ) -> None:
+        self.engine = engine
+        self.scheduler = scheduler
+        self.monitor = monitor
+        self.config = config
+        self.freeze_model = freeze_model if freeze_model is not None else FreezeEffectModel()
+        self.demand_estimator = (
+            demand_estimator
+            if demand_estimator is not None
+            else ConstantDemandEstimator(config.default_e_t)
+        )
+        self.states: Dict[str, RowControlState] = {}
+        for group in groups:
+            if group.name in self.states:
+                raise ValueError(f"duplicate controlled group {group.name!r}")
+            self.states[group.name] = RowControlState(
+                group=group,
+                server_ids=frozenset(s.server_id for s in group.servers),
+            )
+        if not self.states:
+            raise ValueError("controller needs at least one group to control")
+
+    def start(self, until: float, first_at: Optional[float] = None) -> None:
+        """Begin the periodic control loop."""
+        self.engine.schedule_periodic(
+            self.config.control_interval,
+            EventPriority.CONTROLLER_TICK,
+            self.tick,
+            first_at=first_at,
+            until=until,
+        )
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """One control action over every managed row (Algorithm 1)."""
+        now = self.engine.now
+        for state in self.states.values():
+            self._control_row(state, now)
+
+    def _control_row(self, state: RowControlState, now: float) -> None:
+        state.ticks += 1
+        try:
+            p_norm = self.monitor.latest_normalized_power(state.group.name)
+        except (KeyError, LookupError):
+            return  # no sample yet; act next interval
+        e_t = self.demand_estimator.estimate(now)
+        target = self.config.control_target
+        currently_frozen = set(self.scheduler.frozen_server_ids() & state.server_ids)
+        if state._last_prediction is not None:
+            state.prediction_residuals.append(p_norm - state._last_prediction)
+
+        if p_norm > threshold_ratio(e_t, p_m=target):
+            u_t = self._optimal_ratio(p_norm, now)
+            n_freeze = math.floor(u_t * len(state.group.servers))
+            powers = self.monitor.snapshot_server_powers(state.group.name)
+            plan = plan_freeze_set(
+                powers, n_freeze, currently_frozen, self.config.r_stable
+            )
+            for server_id in plan.to_unfreeze:
+                self.scheduler.unfreeze(server_id)
+            for server_id in plan.to_freeze:
+                self.scheduler.freeze(server_id)
+            state.active_ticks += 1
+            state.freeze_actions += len(plan.to_freeze)
+            state.unfreeze_actions += len(plan.to_unfreeze)
+            commanded_u = len(plan.new_frozen) / len(state.group.servers)
+        else:
+            for server_id in currently_frozen:
+                self.scheduler.unfreeze(server_id)
+            state.unfreeze_actions += len(currently_frozen)
+            commanded_u = 0.0
+
+        state.u_history.append(commanded_u)
+        state.u_times.append(now)
+        state._last_prediction = (
+            p_norm + e_t - self.freeze_model.predict(min(1.0, commanded_u))
+        )
+        self.monitor.db.write(f"freeze_ratio/{state.group.name}", now, commanded_u)
+
+    def _optimal_ratio(self, p_norm: float, now: float) -> float:
+        """The RHC control: SPCP closed form, or N-step PCP for horizon > 1."""
+        config = self.config
+        k_r = self.freeze_model.k_r
+        if config.horizon == 1:
+            return spcp_optimal_ratio(
+                p_norm,
+                self.demand_estimator.estimate(now),
+                k_r,
+                p_m=config.control_target,
+                u_max=config.u_max,
+            )
+        e_sequence = self.demand_estimator.estimate_sequence(
+            now, config.horizon, config.control_interval
+        )
+        try:
+            controls = pcp_optimal_sequence(
+                p_norm, e_sequence, k_r, p_m=config.control_target, u_max=config.u_max
+            )
+        except ValueError:
+            # Infeasible within the ceiling: saturate, exactly as the
+            # paper's controller does against the 50% operational limit.
+            return config.u_max
+        return controls[0]
+
+    # ------------------------------------------------------------------
+    def state_of(self, group_name: str) -> RowControlState:
+        if group_name not in self.states:
+            raise KeyError(f"group {group_name!r} is not controlled")
+        return self.states[group_name]
+
+
+__all__ = ["AmpereController", "RowControlState"]

@@ -1,0 +1,178 @@
+"""Estimating the next-interval power increase E_t (Section 3.6).
+
+The paper's estimator is deliberately conservative: from long-term
+monitoring of every row, collect the one-minute power increases, group
+them by hour of day (the distribution varies across the day), and use the
+99.5th percentile of the matching hour as E_t -- "preparing for almost the
+largest change in observed history". Two alternative estimators (constant
+and EWMA-based) are provided for the prediction ablation the paper leaves
+as future work.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_DAY = 24
+
+
+class DemandEstimator(abc.ABC):
+    """Interface: predicted normalized power increase over one interval."""
+
+    @abc.abstractmethod
+    def estimate(self, t: float) -> float:
+        """E_t at simulated time ``t`` (seconds)."""
+
+    def estimate_sequence(self, t: float, steps: int, interval: float) -> List[float]:
+        """Predicted increases for the next ``steps`` intervals.
+
+        Default implementation evaluates the one-step estimate at each
+        future instant; estimators with real forecasting can override.
+        Used by the N-step PCP controller (the general RHC of Section 3.6).
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        return [self.estimate(t + k * interval) for k in range(steps)]
+
+
+class ConstantDemandEstimator(DemandEstimator):
+    """A fixed E_t -- the simplest safety margin."""
+
+    def __init__(self, e_t: float) -> None:
+        if e_t < 0:
+            raise ValueError(f"e_t must be non-negative, got {e_t}")
+        self._e_t = e_t
+
+    def estimate(self, t: float) -> float:
+        return self._e_t
+
+
+class PowerDemandEstimator(DemandEstimator):
+    """The paper's estimator: hourly 99.5th-percentile power increase.
+
+    Parameters
+    ----------
+    percentile:
+        Percentile of historical one-interval increases to use (99.5 =
+        paper).
+    default_e_t:
+        Returned for hours with no history yet.
+    min_e_t:
+        Floor on the estimate; even a quiet hour keeps a small margin.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 99.5,
+        default_e_t: float = 0.025,
+        min_e_t: float = 0.005,
+    ) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if default_e_t < 0 or min_e_t < 0:
+            raise ValueError("default_e_t and min_e_t must be non-negative")
+        self.percentile = percentile
+        self.default_e_t = default_e_t
+        self.min_e_t = min_e_t
+        self._increases_by_hour: Dict[int, List[float]] = {
+            h: [] for h in range(HOURS_PER_DAY)
+        }
+        self._cached: Dict[int, Optional[float]] = {h: None for h in range(HOURS_PER_DAY)}
+
+    @staticmethod
+    def hour_of_day(t: float) -> int:
+        """Hour-of-day bucket for a simulated timestamp."""
+        return int(t // SECONDS_PER_HOUR) % HOURS_PER_DAY
+
+    # ------------------------------------------------------------------
+    def ingest_series(self, times: Sequence[float], values: Sequence[float]) -> None:
+        """Feed a historical normalized power series (one point/interval).
+
+        First-order differences are bucketed by the hour of day of the
+        *earlier* point. Only increases matter for the safety margin, but
+        all differences are stored so percentiles match the paper's
+        formulation on the increase distribution.
+        """
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape:
+            raise ValueError("times and values must have the same shape")
+        if len(times) < 2:
+            return
+        diffs = np.diff(values)
+        for start_time, diff in zip(times[:-1], diffs):
+            hour = self.hour_of_day(float(start_time))
+            self._increases_by_hour[hour].append(float(diff))
+            self._cached[hour] = None
+
+    def observe(self, t: float, increase: float) -> None:
+        """Feed a single online observation (used by live deployments)."""
+        hour = self.hour_of_day(t)
+        self._increases_by_hour[hour].append(increase)
+        self._cached[hour] = None
+
+    def sample_count(self, hour: int) -> int:
+        return len(self._increases_by_hour[hour])
+
+    # ------------------------------------------------------------------
+    def estimate(self, t: float) -> float:
+        hour = self.hour_of_day(t)
+        cached = self._cached[hour]
+        if cached is None:
+            cached = self._compute_hour(hour)
+            self._cached[hour] = cached
+        return cached
+
+    def _compute_hour(self, hour: int) -> float:
+        increases = self._increases_by_hour[hour]
+        if len(increases) < 20:
+            return max(self.default_e_t, self.min_e_t)
+        value = float(np.percentile(np.asarray(increases), self.percentile))
+        return max(value, self.min_e_t)
+
+
+class EwmaDemandEstimator(DemandEstimator):
+    """Ablation estimator: EWMA of recent increases plus a variance margin.
+
+    A lighter-weight online predictor: E_t = mean + z * std of an
+    exponentially weighted window. Included for the prediction-quality
+    ablation (the paper's future work suggests better online prediction).
+    """
+
+    def __init__(self, alpha: float = 0.1, z: float = 3.0, default_e_t: float = 0.025) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if z < 0:
+            raise ValueError(f"z must be non-negative, got {z}")
+        self.alpha = alpha
+        self.z = z
+        self.default_e_t = default_e_t
+        self._mean: Optional[float] = None
+        self._var = 0.0
+
+    def observe(self, t: float, increase: float) -> None:
+        if self._mean is None:
+            self._mean = increase
+            return
+        delta = increase - self._mean
+        self._mean += self.alpha * delta
+        self._var = (1.0 - self.alpha) * (self._var + self.alpha * delta * delta)
+
+    def estimate(self, t: float) -> float:
+        if self._mean is None:
+            return self.default_e_t
+        return max(0.0, self._mean + self.z * float(np.sqrt(self._var)))
+
+
+__all__ = [
+    "DemandEstimator",
+    "ConstantDemandEstimator",
+    "PowerDemandEstimator",
+    "EwmaDemandEstimator",
+]

@@ -1,0 +1,120 @@
+"""Freeze-set selection: the server-choice half of Algorithm 1.
+
+Given per-server power readings, the target number of servers to freeze
+and the currently frozen set, compute which servers to freeze and which to
+unfreeze. The paper freezes the *highest-power* servers ("servers with
+lower power utilization may have more computation capacity left and thus
+freezing them may result in a higher cost") and adds hysteresis through
+``r_stable``: a frozen server is only swapped out for another when that
+other server's power exceeds ``r_stable`` times the freeze set's power
+floor, which prevents freeze/unfreeze flapping on noisy readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+
+@dataclass(frozen=True)
+class FreezePlan:
+    """The actions produced by one planning step."""
+
+    to_freeze: FrozenSet[int]
+    to_unfreeze: FrozenSet[int]
+    new_frozen: FrozenSet[int]
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.to_freeze and not self.to_unfreeze
+
+
+def plan_freeze_set(
+    server_powers: Dict[int, float],
+    n_freeze: int,
+    currently_frozen: Set[int],
+    r_stable: float = 0.8,
+) -> FreezePlan:
+    """One step of Algorithm 1's candidate-selection logic for a row.
+
+    Parameters
+    ----------
+    server_powers:
+        Power reading per server id for every server in the row.
+    n_freeze:
+        Target size of the frozen set (already clamped by the caller to
+        ``floor(u_t * n)`` and the operational ceiling).
+    currently_frozen:
+        Frozen set from the previous interval, ``S_f[k]``.
+    r_stable:
+        Stability ratio; servers whose power exceeds ``r_stable * min(S)``
+        join the candidate set so that near-ties don't cause churn.
+
+    Returns
+    -------
+    FreezePlan
+        The freeze/unfreeze actions and the resulting frozen set, with
+        ``len(new_frozen) == min(n_freeze, len(server_powers))``.
+    """
+    if n_freeze < 0:
+        raise ValueError(f"n_freeze must be non-negative, got {n_freeze}")
+    if not 0.0 < r_stable <= 1.0:
+        raise ValueError(f"r_stable must be in (0, 1], got {r_stable}")
+    unknown = currently_frozen - server_powers.keys()
+    if unknown:
+        raise KeyError(f"frozen servers missing power readings: {sorted(unknown)}")
+
+    n_freeze = min(n_freeze, len(server_powers))
+    if n_freeze == 0:
+        return FreezePlan(
+            to_freeze=frozenset(),
+            to_unfreeze=frozenset(currently_frozen),
+            new_frozen=frozenset(),
+        )
+
+    # S <- n_freeze servers with highest power. Ties broken by id so the
+    # plan is deterministic for identical readings.
+    by_power_desc: List[int] = sorted(
+        server_powers, key=lambda sid: (-server_powers[sid], sid)
+    )
+    top = by_power_desc[:n_freeze]
+    candidates: Set[int] = set(top)
+
+    # Stability band: any server within r_stable of the set's floor is an
+    # acceptable member, so current members inside the band are kept.
+    power_floor = min(server_powers[sid] for sid in top)
+    p_threshold = r_stable * power_floor
+    for sid in by_power_desc[n_freeze:]:
+        if server_powers[sid] > p_threshold:
+            candidates.add(sid)
+        else:
+            break  # sorted descending; everything after is colder
+
+    # Unfreeze servers that fell out of the candidate set entirely.
+    kept = currently_frozen & candidates
+    dropped = currently_frozen - candidates
+
+    if len(kept) > n_freeze:
+        # Too many survivors: release the coldest surplus ("arbitrary" in
+        # the paper; coldest-first minimizes capacity cost and is
+        # deterministic).
+        surplus = sorted(kept, key=lambda sid: (server_powers[sid], -sid))
+        release = set(surplus[: len(kept) - n_freeze])
+        kept -= release
+        dropped |= release
+        newly_frozen: Set[int] = set()
+    else:
+        # Fill up with the hottest non-frozen candidates.
+        need = n_freeze - len(kept)
+        fill_pool = [sid for sid in by_power_desc if sid in candidates and sid not in kept]
+        newly_frozen = set(fill_pool[:need])
+        kept |= newly_frozen
+
+    return FreezePlan(
+        to_freeze=frozenset(newly_frozen),
+        to_unfreeze=frozenset(dropped),
+        new_frozen=frozenset(kept),
+    )
+
+
+__all__ = ["FreezePlan", "plan_freeze_set"]

@@ -1,0 +1,122 @@
+"""Simulated IPMI/BMC power readings.
+
+The paper's monitor "collects server-level power utilization, among other
+metrics, through the intelligent platform management interface (IPMI)".
+Real BMC reads are imperfect: readings are quantized to whole watts,
+carry sensor noise, and occasionally time out. This layer models those
+properties so the monitor's resilience path (carrying the last known
+reading through a failed poll) is actually exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.server import Server
+
+
+class BmcEndpoint:
+    """The management controller of one server.
+
+    Parameters
+    ----------
+    server:
+        The managed server (source of true power).
+    rng:
+        Random source for noise and timeouts.
+    noise_sigma:
+        Relative standard deviation of sensor noise.
+    failure_rate:
+        Probability that a poll times out (returns ``None``).
+    quantize_watts:
+        Reading resolution; IPMI power sensors report whole watts.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        rng: np.random.Generator,
+        noise_sigma: float = 0.01,
+        failure_rate: float = 0.001,
+        quantize_watts: float = 1.0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        if quantize_watts <= 0:
+            raise ValueError(f"quantize_watts must be positive, got {quantize_watts}")
+        self.server = server
+        self.rng = rng
+        self.noise_sigma = noise_sigma
+        self.failure_rate = failure_rate
+        self.quantize_watts = quantize_watts
+        self.polls = 0
+        self.timeouts = 0
+
+    def read_power(self) -> Optional[float]:
+        """One poll: quantized noisy watts, or ``None`` on timeout."""
+        self.polls += 1
+        if self.failure_rate > 0 and self.rng.random() < self.failure_rate:
+            self.timeouts += 1
+            return None
+        reading = self.server.power_watts()
+        if self.noise_sigma > 0:
+            reading *= 1.0 + self.noise_sigma * self.rng.standard_normal()
+        quantized = round(reading / self.quantize_watts) * self.quantize_watts
+        return max(0.0, quantized)
+
+
+class IpmiFleet:
+    """All BMC endpoints of a fleet, with last-known-value fallback.
+
+    ``poll_all`` returns a complete power map even when individual reads
+    time out: a failed poll reuses the server's last successful reading
+    (or its idle power before any success), which is exactly what a
+    production aggregation pipeline does rather than dropping the row.
+    """
+
+    def __init__(
+        self,
+        servers,
+        rng: np.random.Generator,
+        noise_sigma: float = 0.01,
+        failure_rate: float = 0.001,
+    ) -> None:
+        self.endpoints: Dict[int, BmcEndpoint] = {
+            s.server_id: BmcEndpoint(
+                s, rng, noise_sigma=noise_sigma, failure_rate=failure_rate
+            )
+            for s in servers
+        }
+        if not self.endpoints:
+            raise ValueError("IpmiFleet needs at least one server")
+        self._last_known: Dict[int, float] = {
+            s.server_id: s.power_params.idle_watts for s in servers
+        }
+        self.fallbacks_used = 0
+
+    def poll_all(self) -> Dict[int, float]:
+        readings: Dict[int, float] = {}
+        for server_id, endpoint in self.endpoints.items():
+            value = endpoint.read_power()
+            if value is None:
+                self.fallbacks_used += 1
+                value = self._last_known[server_id]
+            else:
+                self._last_known[server_id] = value
+            readings[server_id] = value
+        return readings
+
+    @property
+    def total_polls(self) -> int:
+        return sum(e.polls for e in self.endpoints.values())
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(e.timeouts for e in self.endpoints.values())
+
+
+__all__ = ["BmcEndpoint", "IpmiFleet"]

@@ -1,0 +1,203 @@
+"""Per-minute power sampling and aggregation.
+
+Every ``interval`` seconds (one minute by default, the paper's choice of
+"a good tradeoff between measurement accuracy and monitoring overhead"),
+the monitor reads each registered server's power through a simulated IPMI
+interface -- the true model power perturbed by multiplicative measurement
+noise -- aggregates it per group, and appends the results to the
+time-series database. Violation accounting (one violation per sampled
+minute in which a group's power exceeds its budget) also lives here, since
+the monitor is the observer that defines the paper's violation metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster.group import ServerGroup
+from repro.monitor.tsdb import TimeSeriesDatabase
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+
+
+class PowerMonitor:
+    """Samples server power and serves aggregated group series.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine the sampling loop runs on.
+    db:
+        Time-series database to write into (created if omitted).
+    interval:
+        Sampling period in seconds (60 = the paper's configuration).
+    noise_sigma:
+        Relative standard deviation of per-server measurement noise. IPMI
+        power readings carry on the order of 1% error.
+    rng:
+        Explicit random generator for the noise.
+    store_per_server:
+        Also record one series per server (needed only by the freeze-decay
+        experiment of Figure 4; off by default to bound memory).
+    ipmi_failure_rate:
+        When positive, sampling goes through a simulated IPMI/BMC fleet
+        (:class:`~repro.monitor.ipmi.IpmiFleet`): quantized readings with
+        occasional poll timeouts covered by last-known values. Zero keeps
+        the fast direct-noise path.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        db: Optional[TimeSeriesDatabase] = None,
+        interval: float = 60.0,
+        noise_sigma: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+        store_per_server: bool = False,
+        ipmi_failure_rate: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if not 0.0 <= ipmi_failure_rate < 1.0:
+            raise ValueError(
+                f"ipmi_failure_rate must be in [0, 1), got {ipmi_failure_rate}"
+            )
+        self.engine = engine
+        self.db = db if db is not None else TimeSeriesDatabase()
+        self.interval = interval
+        self.noise_sigma = noise_sigma
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.store_per_server = store_per_server
+        self.ipmi_failure_rate = ipmi_failure_rate
+        self._groups: Dict[str, ServerGroup] = {}
+        self._fleets: Dict[str, "IpmiFleet"] = {}
+        self.violations: Dict[str, int] = {}
+        #: names of Row groups whose breaker has tripped (catastrophic)
+        self.breaker_trips: set = set()
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    def register_group(self, group: ServerGroup) -> None:
+        """Track ``group``; its series key is ``power/<name>``."""
+        if group.name in self._groups:
+            raise ValueError(f"group {group.name!r} already registered")
+        self._groups[group.name] = group
+        self.violations[group.name] = 0
+        if self.ipmi_failure_rate > 0:
+            from repro.monitor.ipmi import IpmiFleet
+
+            self._fleets[group.name] = IpmiFleet(
+                group.servers,
+                rng=self.rng,
+                noise_sigma=self.noise_sigma,
+                failure_rate=self.ipmi_failure_rate,
+            )
+
+    def register_groups(self, groups: Iterable[ServerGroup]) -> None:
+        for group in groups:
+            self.register_group(group)
+
+    def groups(self) -> List[ServerGroup]:
+        return list(self._groups.values())
+
+    def start(self, until: float, first_at: Optional[float] = None) -> None:
+        """Begin periodic sampling on the engine."""
+        self.engine.schedule_periodic(
+            self.interval,
+            EventPriority.MONITOR_SAMPLE,
+            self.sample_once,
+            first_at=first_at,
+            until=until,
+        )
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> None:
+        """Take one sample of every registered group."""
+        now = self.engine.now
+        self.samples_taken += 1
+        for group in self._groups.values():
+            fleet = self._fleets.get(group.name)
+            if fleet is not None:
+                polled = fleet.poll_all()
+                readings = np.array(
+                    [polled[s.server_id] for s in group.servers], dtype=float
+                )
+            else:
+                true_powers = np.fromiter(
+                    (server.power_watts() for server in group.servers),
+                    dtype=float,
+                    count=len(group.servers),
+                )
+                if self.noise_sigma > 0:
+                    noise = 1.0 + self.noise_sigma * self.rng.standard_normal(
+                        len(true_powers)
+                    )
+                    readings = true_powers * noise
+                else:
+                    readings = true_powers
+            total = float(readings.sum())
+            if self.store_per_server:
+                for server, reading in zip(group.servers, readings):
+                    self.db.write(f"power/server/{server.server_id}", now, reading)
+            self.db.write(f"power/{group.name}", now, total)
+            normalized = total / group.power_budget_watts
+            self.db.write(f"power_norm/{group.name}", now, normalized)
+            if total > group.power_budget_watts:
+                self.violations[group.name] += 1
+            # Rows carry a physical breaker; evaluate it on the *true*
+            # power (a breaker doesn't care about sensor noise).
+            check_breaker = getattr(group, "check_breaker", None)
+            if check_breaker is not None and check_breaker():
+                self.breaker_trips.add(group.name)
+
+    # ------------------------------------------------------------------
+    # Query API (stands in for the paper's RESTful endpoint)
+    # ------------------------------------------------------------------
+    def latest_power(self, group_name: str) -> float:
+        """Most recent aggregated power reading of a group, in watts."""
+        return self.db.latest(f"power/{group_name}")
+
+    def latest_normalized_power(self, group_name: str) -> float:
+        """Most recent group power normalized to its budget P_M."""
+        return self.db.latest(f"power_norm/{group_name}")
+
+    def power_series(self, group_name: str, start=None, end=None):
+        """``(times, watts)`` arrays for a group."""
+        return self.db.query(f"power/{group_name}", start, end)
+
+    def normalized_power_series(self, group_name: str, start=None, end=None):
+        """``(times, power/P_M)`` arrays for a group."""
+        return self.db.query(f"power_norm/{group_name}", start, end)
+
+    def snapshot_server_powers(self, group_name: str) -> Dict[int, float]:
+        """On-demand noisy per-server readings for a group (not stored).
+
+        The controller uses this to rank servers by power when choosing
+        freeze victims; it sees the same noisy IPMI readings as the
+        aggregated series, not the simulator's true state.
+        """
+        if group_name not in self._groups:
+            raise KeyError(f"unknown group {group_name!r}")
+        group = self._groups[group_name]
+        readings: Dict[int, float] = {}
+        if self.noise_sigma > 0:
+            noise = 1.0 + self.noise_sigma * self.rng.standard_normal(
+                len(group.servers)
+            )
+        else:
+            noise = np.ones(len(group.servers))
+        for server, factor in zip(group.servers, noise):
+            readings[server.server_id] = server.power_watts() * factor
+        return readings
+
+    def violation_count(self, group_name: str) -> int:
+        if group_name not in self.violations:
+            raise KeyError(f"unknown group {group_name!r}")
+        return self.violations[group_name]
+
+
+__all__ = ["PowerMonitor"]

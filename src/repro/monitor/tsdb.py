@@ -1,0 +1,179 @@
+"""In-memory time-series database with a range-query API.
+
+Stands in for the MySQL-backed store of the paper's power monitor. Points
+are appended in time order (the monitor is the only writer) and queries
+return numpy arrays, which the analysis layer consumes directly. Series
+can be dumped to and reloaded from CSV, which is how recorded runs are
+archived and replayed (e.g. to train the demand estimator on history, as
+production would).
+"""
+
+from __future__ import annotations
+
+import bisect
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+
+class TimeSeries:
+    """One append-only metric series of ``(timestamp, value)`` points."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Append a point; timestamps must be non-decreasing."""
+        if self._times and timestamp < self._times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: timestamp {timestamp} precedes "
+                f"last point {self._times[-1]}"
+            )
+        self._times.append(timestamp)
+        self._values.append(value)
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent ``(timestamp, value)``; raises if empty."""
+        if not self._times:
+            raise LookupError(f"series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def last_value(self) -> float:
+        return self.last()[1]
+
+    def range(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Points with ``start <= t < end`` as ``(times, values)`` arrays."""
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        return (
+            np.asarray(self._times[lo:hi], dtype=float),
+            np.asarray(self._values[lo:hi], dtype=float),
+        )
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def resample(
+        self, bucket_seconds: float, aggregate: str = "mean"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Roll the series up into fixed time buckets.
+
+        Buckets are aligned to multiples of ``bucket_seconds``; the
+        returned timestamps are bucket starts and empty buckets are
+        omitted. ``aggregate`` is ``"mean"``, ``"max"``, ``"min"`` or
+        ``"sum"`` -- the rollups a dashboard (or the Figure 9 analysis)
+        needs.
+        """
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be positive, got {bucket_seconds}")
+        reducers = {"mean": np.mean, "max": np.max, "min": np.min, "sum": np.sum}
+        if aggregate not in reducers:
+            raise ValueError(
+                f"aggregate must be one of {sorted(reducers)}, got {aggregate!r}"
+            )
+        if not self._times:
+            return np.empty(0), np.empty(0)
+        times = self.times()
+        values = self.values()
+        buckets = np.floor(times / bucket_seconds).astype(np.int64)
+        reduce = reducers[aggregate]
+        out_times = []
+        out_values = []
+        start = 0
+        for i in range(1, len(buckets) + 1):
+            if i == len(buckets) or buckets[i] != buckets[start]:
+                out_times.append(buckets[start] * bucket_seconds)
+                out_values.append(reduce(values[start:i]))
+                start = i
+        return np.asarray(out_times, dtype=float), np.asarray(out_values, dtype=float)
+
+
+class TimeSeriesDatabase:
+    """A collection of named :class:`TimeSeries`.
+
+    ``query`` is the programmatic equivalent of the paper's RESTful HTTP
+    endpoint: callers address metrics by name and time range and never
+    touch monitor internals.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Get or create the series ``name``."""
+        found = self._series.get(name)
+        if found is None:
+            found = TimeSeries(name)
+            self._series[name] = found
+        return found
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def write(self, name: str, timestamp: float, value: float) -> None:
+        self.series(name).append(timestamp, value)
+
+    def query(
+        self, name: str, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Range query; unknown metrics raise ``KeyError``."""
+        if name not in self._series:
+            raise KeyError(f"unknown metric {name!r}")
+        return self._series[name].range(start, end)
+
+    def latest(self, name: str) -> float:
+        if name not in self._series:
+            raise KeyError(f"unknown metric {name!r}")
+        return self._series[name].last_value()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def dump_csv(self, path: Union[str, Path]) -> int:
+        """Write every series as ``metric,timestamp,value`` rows.
+
+        Returns the number of points written.
+        """
+        count = 0
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["metric", "timestamp", "value"])
+            for name in self.names():
+                series = self._series[name]
+                for t, v in zip(series.times(), series.values()):
+                    writer.writerow([name, repr(float(t)), repr(float(v))])
+                    count += 1
+        return count
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "TimeSeriesDatabase":
+        """Rebuild a database from :meth:`dump_csv` output."""
+        db = cls()
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != ["metric", "timestamp", "value"]:
+                raise ValueError(f"unrecognized TSDB CSV header: {header}")
+            for row in reader:
+                if len(row) != 3:
+                    raise ValueError(f"malformed TSDB CSV row: {row}")
+                db.write(row[0], float(row[1]), float(row[2]))
+        return db
+
+
+__all__ = ["TimeSeries", "TimeSeriesDatabase"]

@@ -1,0 +1,67 @@
+"""Scheduler interface: the only surface Ampere is allowed to touch.
+
+Design choice 2 of the paper (Section 3.1): the power controller must not
+read scheduler internals or inject policy; it may only ``submit`` nothing
+and call ``freeze``/``unfreeze``. Keeping the interface this small is what
+makes the approach portable across schedulers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.workload.job import Job
+
+
+@dataclass
+class SchedulerStats:
+    """Cluster-wide scheduling counters used by the evaluation."""
+
+    submitted: int = 0
+    placed: int = 0
+    completed: int = 0
+    failures: int = 0
+    jobs_killed: int = 0
+    preemptions: int = 0
+    jobs_preempted: int = 0
+    #: placements broken down by product tag
+    placed_by_product: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def queued(self) -> int:
+        """Jobs submitted but not yet placed."""
+        return self.submitted - self.placed
+
+    def record_placement(self, job: Job) -> None:
+        self.placed += 1
+        self.placed_by_product[job.product] = (
+            self.placed_by_product.get(job.product, 0) + 1
+        )
+
+
+class SchedulerInterface(abc.ABC):
+    """What a data-center scheduler must expose for Ampere to work."""
+
+    @abc.abstractmethod
+    def submit(self, job: Job) -> None:
+        """Accept a job for (eventual) placement."""
+
+    @abc.abstractmethod
+    def freeze(self, server_id: int) -> None:
+        """Advise: stop assigning new jobs to this server.
+
+        Running jobs are unaffected. Idempotent.
+        """
+
+    @abc.abstractmethod
+    def unfreeze(self, server_id: int) -> None:
+        """Make a frozen server schedulable again. Idempotent."""
+
+    @abc.abstractmethod
+    def frozen_server_ids(self) -> FrozenSet[int]:
+        """Currently frozen server ids (for controller bookkeeping)."""
+
+
+__all__ = ["SchedulerInterface", "SchedulerStats"]

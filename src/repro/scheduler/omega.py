@@ -1,0 +1,447 @@
+"""Two-level Omega-like scheduler with the freeze/unfreeze API.
+
+The low level (this class plus :class:`ResourceTracker`) owns resource
+state, executes placements, schedules job-completion events on the
+simulation engine, and keeps completions correct when DVFS capping changes
+a server's execution speed. The upper level is a set of per-product
+:class:`Framework` objects, each with its own FIFO queue (with bounded
+backfill) and placement policy.
+
+Freezing a server only removes it from the candidate set for *new*
+placements; running jobs continue untouched -- the property Ampere's
+SLA-safety argument rests on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster.server import Server
+from repro.scheduler.base import SchedulerInterface, SchedulerStats
+from repro.scheduler.policies import PlacementPolicy, RandomAvailablePolicy
+from repro.scheduler.resources import ResourceTracker
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+from repro.workload.job import Job
+
+PlacementListener = Callable[[Job, Server], None]
+CompletionListener = Callable[[Job, Server], None]
+
+#: Progress shortfall below which a completion event is accepted as final.
+_COMPLETION_EPSILON = 1e-6
+
+
+class Framework:
+    """An upper-level application scheduler (one per product family).
+
+    Jobs wait in FIFO order; to avoid pathological head-of-line blocking a
+    bounded *backfill window* of queued jobs behind the head may be placed
+    when the head does not fit (real cluster schedulers backfill the same
+    way).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: Optional[PlacementPolicy] = None,
+        backfill_depth: int = 8,
+    ) -> None:
+        if backfill_depth < 1:
+            raise ValueError(f"backfill_depth must be >= 1, got {backfill_depth}")
+        self.name = name
+        self.policy = policy if policy is not None else RandomAvailablePolicy()
+        self.backfill_depth = backfill_depth
+        self.queue: Deque[Job] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Framework({self.name!r}, queued={len(self.queue)})"
+
+
+class OmegaScheduler(SchedulerInterface):
+    """The cluster scheduler used throughout the reproduction.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (completion events are scheduled on it).
+    servers:
+        The schedulable fleet (usually every server in the data center --
+        the paper schedules over the whole facility as one pool).
+    rng:
+        Random generator for placement tie-breaking.
+    default_policy:
+        Policy of the implicitly created default framework.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        servers: Iterable[Server],
+        rng: np.random.Generator,
+        default_policy: Optional[PlacementPolicy] = None,
+        enable_preemption: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.enable_preemption = enable_preemption
+        self.tracker = ResourceTracker(list(servers))
+        self.rng = rng
+        self.stats = SchedulerStats()
+        self.frameworks: Dict[str, Framework] = {}
+        self._default_framework = Framework("default", default_policy)
+        self.placement_listeners: List[PlacementListener] = []
+        self.completion_listeners: List[CompletionListener] = []
+        #: called with (action, server_id) on freeze/unfreeze/fail/repair
+        self.control_listeners: List[Callable[[str, int], None]] = []
+        self._frozen_ids: set = set()
+        for server in self.tracker.servers:
+            server.frequency_listeners.append(self._on_frequency_change)
+
+    # ------------------------------------------------------------------
+    # Framework management (upper level)
+    # ------------------------------------------------------------------
+    def register_framework(self, framework: Framework) -> None:
+        if framework.name in self.frameworks:
+            raise ValueError(f"framework {framework.name!r} already registered")
+        self.frameworks[framework.name] = framework
+
+    def framework_for(self, job: Job) -> Framework:
+        return self.frameworks.get(job.product, self._default_framework)
+
+    def all_frameworks(self) -> List[Framework]:
+        return [self._default_framework, *self.frameworks.values()]
+
+    @property
+    def queued_jobs(self) -> int:
+        return sum(len(f.queue) for f in self.all_frameworks())
+
+    # ------------------------------------------------------------------
+    # SchedulerInterface
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Accept a job: place immediately if possible, else enqueue.
+
+        With preemption enabled, a positive-priority job that cannot fit
+        may evict lower-priority running work instead of queueing.
+        """
+        self.stats.submitted += 1
+        framework = self.framework_for(job)
+        if not framework.queue and self._try_place(job, framework):
+            return
+        if (
+            self.enable_preemption
+            and job.priority > 0
+            and self._try_preempt_for(job)
+        ):
+            return
+        framework.queue.append(job)
+
+    def freeze(self, server_id: int) -> None:
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        self.tracker.server_at(index).freeze()
+        self.tracker.set_frozen(server_id, True)
+        self._frozen_ids.add(server_id)
+        self._notify_control("freeze", server_id)
+
+    def unfreeze(self, server_id: int) -> None:
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        self.tracker.server_at(index).unfreeze()
+        self.tracker.set_frozen(server_id, False)
+        self._frozen_ids.discard(server_id)
+        self._notify_control("unfreeze", server_id)
+        self._drain_queues()
+
+    def frozen_server_ids(self) -> FrozenSet[int]:
+        return frozenset(self._frozen_ids)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def fail_server(self, server_id: int) -> int:
+        """Take a server down: kill its tasks and resubmit fresh attempts.
+
+        Batch tasks restart from scratch on another machine (MapReduce
+        semantics); pinned services are lost until an operator re-pins
+        them. Returns the number of tasks killed.
+        """
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        server = self.tracker.server_at(index)
+        if server.failed:
+            return 0
+        killed = list(server.tasks.values())
+        for job in killed:
+            if job.completion_handle is not None:
+                job.completion_handle.cancel()
+                job.completion_handle = None
+            server.remove_task(job)
+            self.tracker.on_release(index, job.cores, job.memory_gb)
+            job.kill()
+        server.fail()
+        self.tracker.set_failed(server_id, True)
+        self._notify_control("fail", server_id)
+        self.stats.failures += 1
+        self.stats.jobs_killed += len(killed)
+        now = self.engine.now
+        for job in killed:
+            if job.remaining_work == float("inf"):
+                continue  # a pinned service; not rescheduled automatically
+            retry = Job(
+                job.job_id,
+                job.work_seconds,
+                cores=job.cores,
+                memory_gb=job.memory_gb,
+                arrival_time=now,
+                product=job.product,
+                allowed_rows=job.allowed_rows,
+            )
+            self.submit(retry)
+        return len(killed)
+
+    def repair_server(self, server_id: int) -> None:
+        """Bring a failed server back into the schedulable pool."""
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        server = self.tracker.server_at(index)
+        if not server.failed:
+            return
+        server.repair()
+        self.tracker.set_failed(server_id, False)
+        self._notify_control("repair", server_id)
+        self._drain_queues()
+
+    # ------------------------------------------------------------------
+    # Power-state management (consolidation baselines)
+    # ------------------------------------------------------------------
+    def power_off_server(self, server_id: int) -> None:
+        """Remove an *idle* server from the pool (PowerNap-style).
+
+        Raises ``RuntimeError`` if the server still runs tasks; a
+        consolidation controller must only select idle machines.
+        """
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        self.tracker.server_at(index).power_off()
+        self.tracker.set_offline(server_id, True)
+
+    def power_on_server(self, server_id: int) -> None:
+        """Return a powered-off server to the pool and drain the queue."""
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        self.tracker.server_at(index).power_on()
+        self.tracker.set_offline(server_id, False)
+        self._drain_queues()
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _try_preempt_for(self, job: Job) -> bool:
+        """Evict lower-priority work to place ``job``; True on success.
+
+        Victim server: the eligible server whose evicted priority mass is
+        smallest. Victims are killed lowest-priority-first and resubmitted
+        as fresh attempts (restart semantics, like the failure path);
+        pinned services (infinite work) are never evicted.
+        """
+        best_index = None
+        best_victims = None
+        best_cost = None
+        for index, server in enumerate(self.tracker.servers):
+            if server.frozen or server.failed:
+                continue
+            if job.allowed_rows is not None and server.row_id not in job.allowed_rows:
+                continue
+            victims = self._cheapest_victims(server, job)
+            if victims is None:
+                continue
+            cost = (sum(v.priority for v in victims), len(victims))
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_index = index
+                best_victims = victims
+        if best_index is None:
+            return False
+        server = self.tracker.server_at(best_index)
+        now = self.engine.now
+        for victim in best_victims:
+            if victim.completion_handle is not None:
+                victim.completion_handle.cancel()
+                victim.completion_handle = None
+            victim.advance(now, server.frequency)
+            server.remove_task(victim)
+            self.tracker.on_release(best_index, victim.cores, victim.memory_gb)
+            victim.kill()
+            self.stats.jobs_preempted += 1
+        self.stats.preemptions += 1
+        # Claim the freed capacity for the urgent job before the victims'
+        # retries are resubmitted, or they would race it for the slot.
+        self._place(job, best_index)
+        for victim in best_victims:
+            self.submit(
+                Job(
+                    victim.job_id,
+                    victim.work_seconds,
+                    cores=victim.cores,
+                    memory_gb=victim.memory_gb,
+                    arrival_time=now,
+                    product=victim.product,
+                    allowed_rows=victim.allowed_rows,
+                    priority=victim.priority,
+                )
+            )
+        return True
+
+    def _cheapest_victims(self, server: Server, job: Job):
+        """Lowest-priority tasks whose eviction makes ``job`` fit, or None."""
+        free_cores = server.free_cores
+        free_memory = server.free_memory_gb
+        if free_cores >= job.cores and free_memory >= job.memory_gb:
+            return []  # caller should have placed normally, but handle it
+        evictable = sorted(
+            (
+                t
+                for t in server.tasks.values()
+                if t.priority < job.priority and t.remaining_work != float("inf")
+            ),
+            key=lambda t: (t.priority, t.remaining_work),
+        )
+        victims = []
+        for task in evictable:
+            if free_cores >= job.cores and free_memory >= job.memory_gb:
+                break
+            victims.append(task)
+            free_cores += task.cores
+            free_memory += task.memory_gb
+        if free_cores >= job.cores and free_memory >= job.memory_gb:
+            return victims
+        return None
+
+    def _notify_control(self, action: str, server_id: int) -> None:
+        for listener in self.control_listeners:
+            listener(action, server_id)
+
+    # ------------------------------------------------------------------
+    # Placement (low level)
+    # ------------------------------------------------------------------
+    def _try_place(self, job: Job, framework: Framework) -> bool:
+        candidates = self.tracker.candidates(job.cores, job.memory_gb, job.allowed_rows)
+        if len(candidates) == 0:
+            return False
+        index = framework.policy.select(self.tracker, candidates, self.rng)
+        self._place(job, index)
+        return True
+
+    def _place(self, job: Job, index: int) -> None:
+        server = self.tracker.server_at(index)
+        now = self.engine.now
+        server.add_task(job)
+        self.tracker.on_place(index, job.cores, job.memory_gb)
+        job.begin(server, now)
+        job.completion_handle = self.engine.schedule(
+            job.eta(now, server.frequency),
+            EventPriority.JOB_COMPLETION,
+            self._complete_job,
+            job,
+        )
+        self.stats.record_placement(job)
+        for listener in self.placement_listeners:
+            listener(job, server)
+
+    def place_pinned(self, job: Job, server_id: int) -> None:
+        """Place a job on a specific server, bypassing placement policy.
+
+        Used for long-lived pinned services (e.g. a Redis instance). The
+        job holds its resources indefinitely; no completion event is
+        scheduled and throughput listeners are not notified (services are
+        not part of batch throughput).
+        """
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        server = self.tracker.server_at(index)
+        server.add_task(job)
+        self.tracker.on_place(index, job.cores, job.memory_gb)
+        job.begin(server, self.engine.now)
+
+    def _complete_job(self, job: Job) -> None:
+        now = self.engine.now
+        server = job.server
+        assert server is not None
+        job.advance(now, server.frequency)
+        if job.remaining_work > _COMPLETION_EPSILON:
+            # The server slowed down after this event was scheduled and the
+            # reschedule raced; push completion to the corrected ETA.
+            job.completion_handle = self.engine.schedule(
+                job.eta(now, server.frequency),
+                EventPriority.JOB_COMPLETION,
+                self._complete_job,
+                job,
+            )
+            return
+        job.complete(now)
+        server.remove_task(job)
+        index = self.tracker.index_of[server.server_id]
+        self.tracker.on_release(index, job.cores, job.memory_gb)
+        self.stats.completed += 1
+        for listener in self.completion_listeners:
+            listener(job, server)
+        self._drain_queues()
+
+    def _drain_queues(self) -> None:
+        """Place queued jobs while capacity lasts (FIFO + bounded backfill)."""
+        for framework in self.all_frameworks():
+            self._drain_framework(framework)
+
+    def _drain_framework(self, framework: Framework) -> None:
+        while framework.queue:
+            head = framework.queue[0]
+            if self._try_place(head, framework):
+                framework.queue.popleft()
+                continue
+            # Head does not fit: try a bounded backfill window behind it.
+            placed_any = False
+            window = min(framework.backfill_depth, len(framework.queue) - 1)
+            position = 1
+            scanned = 0
+            while scanned < window and position < len(framework.queue):
+                job = framework.queue[position]
+                if self._try_place(job, framework):
+                    del framework.queue[position]
+                    placed_any = True
+                else:
+                    position += 1
+                scanned += 1
+            if not placed_any:
+                break
+
+    # ------------------------------------------------------------------
+    # DVFS coupling
+    # ------------------------------------------------------------------
+    def _on_frequency_change(
+        self, server: Server, old_frequency: float, new_frequency: float
+    ) -> None:
+        """Re-time completion events when a server's speed changes."""
+        now = self.engine.now
+        for job in server.tasks.values():
+            job.advance(now, old_frequency)
+            if job.completion_handle is not None:
+                job.completion_handle.cancel()
+            job.completion_handle = self.engine.schedule(
+                job.eta(now, new_frequency),
+                EventPriority.JOB_COMPLETION,
+                self._complete_job,
+                job,
+            )
+
+
+__all__ = ["OmegaScheduler", "Framework", "PlacementListener", "CompletionListener"]

@@ -1,0 +1,86 @@
+"""Placement policies for the upper-level frameworks.
+
+Ampere's statistical control assumes only that *the number of jobs placed
+in a row is roughly proportional to the number of available (unfrozen)
+servers there* (Section 3.4). The default random-available policy has that
+property exactly; least-loaded and best-fit are provided both for realism
+and for the ablation that checks Ampere still works when the
+proportionality is only approximate.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.scheduler.resources import ResourceTracker
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses one server index among fitting candidates."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        tracker: ResourceTracker,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        """Return the chosen index from ``candidates`` (never empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return type(self).__name__
+
+
+class RandomAvailablePolicy(PlacementPolicy):
+    """Uniformly random choice among available servers (the default).
+
+    Gives exactly the placement-proportional-to-availability behaviour the
+    paper's statistical control relies on.
+    """
+
+    def select(
+        self,
+        tracker: ResourceTracker,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        return int(candidates[rng.integers(len(candidates))])
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Pick the candidate with the most free cores (load balancing)."""
+
+    def select(
+        self,
+        tracker: ResourceTracker,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        free = tracker.free_cores_array(candidates)
+        best = np.flatnonzero(free == free.max())
+        # Break ties randomly so identical servers share load evenly.
+        return int(candidates[best[rng.integers(len(best))]])
+
+
+class BestFitPolicy(PlacementPolicy):
+    """Pick the candidate with the least free cores that still fits (packing)."""
+
+    def select(
+        self,
+        tracker: ResourceTracker,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        free = tracker.free_cores_array(candidates)
+        best = np.flatnonzero(free == free.min())
+        return int(candidates[best[rng.integers(len(best))]])
+
+
+__all__ = [
+    "PlacementPolicy",
+    "RandomAvailablePolicy",
+    "LeastLoadedPolicy",
+    "BestFitPolicy",
+]

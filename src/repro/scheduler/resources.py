@@ -1,0 +1,140 @@
+"""Low-level resource tracking with vectorized candidate search.
+
+The tracker mirrors per-server free resources and freeze flags into numpy
+arrays so a placement query ("which unfrozen servers fit 2 cores / 4 GB in
+row 3?") is a single vectorized filter. This is the part of the paper's
+low-level scheduler that "tracks the status of resources [and] bundles
+them into abstract resource containers".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.server import Server
+
+
+class ResourceTracker:
+    """Numpy-mirrored view of server resources for fast placement queries.
+
+    The :class:`~repro.cluster.server.Server` objects remain the source of
+    truth; every mutation goes through this tracker so the mirror never
+    drifts (an invariant the test suite checks property-style).
+    """
+
+    def __init__(self, servers: Sequence[Server]) -> None:
+        if not servers:
+            raise ValueError("ResourceTracker requires at least one server")
+        self.servers: List[Server] = list(servers)
+        self.index_of: Dict[int, int] = {
+            s.server_id: i for i, s in enumerate(self.servers)
+        }
+        if len(self.index_of) != len(self.servers):
+            raise ValueError("duplicate server ids in tracker")
+        n = len(self.servers)
+        self._free_cores = np.array([s.free_cores for s in self.servers], dtype=float)
+        self._free_memory = np.array(
+            [s.free_memory_gb for s in self.servers], dtype=float
+        )
+        self._frozen = np.array([s.frozen for s in self.servers], dtype=bool)
+        self._failed = np.array([s.failed for s in self.servers], dtype=bool)
+        self._offline = np.array([s.powered_off for s in self.servers], dtype=bool)
+        self._row_ids = np.array([s.row_id for s in self.servers], dtype=np.int64)
+        self._row_mask_cache: Dict[frozenset, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        cores: float,
+        memory_gb: float,
+        allowed_rows: Optional[frozenset] = None,
+    ) -> np.ndarray:
+        """Indices of unfrozen servers that fit the demand."""
+        mask = (
+            (self._free_cores >= cores - 1e-9)
+            & (self._free_memory >= memory_gb - 1e-9)
+            & ~self._frozen
+            & ~self._failed
+            & ~self._offline
+        )
+        if allowed_rows is not None:
+            mask &= self._row_mask(allowed_rows)
+        return np.nonzero(mask)[0]
+
+    def _row_mask(self, allowed_rows: frozenset) -> np.ndarray:
+        cached = self._row_mask_cache.get(allowed_rows)
+        if cached is None:
+            cached = np.isin(self._row_ids, np.fromiter(allowed_rows, dtype=np.int64))
+            self._row_mask_cache[allowed_rows] = cached
+        return cached
+
+    def free_cores_at(self, index: int) -> float:
+        return float(self._free_cores[index])
+
+    def free_cores_array(self, indices: np.ndarray) -> np.ndarray:
+        """Free-core counts for the given server indices (read-only view)."""
+        return self._free_cores[indices]
+
+    def free_memory_at(self, index: int) -> float:
+        return float(self._free_memory[index])
+
+    def server_at(self, index: int) -> Server:
+        return self.servers[index]
+
+    @property
+    def frozen_count(self) -> int:
+        return int(self._frozen.sum())
+
+    # ------------------------------------------------------------------
+    # Mutations (keep mirror and Server objects in lock-step)
+    # ------------------------------------------------------------------
+    def on_place(self, index: int, cores: float, memory_gb: float) -> None:
+        self._free_cores[index] -= cores
+        self._free_memory[index] -= memory_gb
+
+    def on_release(self, index: int, cores: float, memory_gb: float) -> None:
+        self._free_cores[index] += cores
+        self._free_memory[index] += memory_gb
+
+    def set_frozen(self, server_id: int, frozen: bool) -> None:
+        self._frozen[self.index_of[server_id]] = frozen
+
+    def set_failed(self, server_id: int, failed: bool) -> None:
+        self._failed[self.index_of[server_id]] = failed
+
+    def set_offline(self, server_id: int, offline: bool) -> None:
+        self._offline[self.index_of[server_id]] = offline
+
+    def resync(self) -> None:
+        """Rebuild the mirror from the Server objects (defensive repair)."""
+        for i, server in enumerate(self.servers):
+            self._free_cores[i] = server.free_cores
+            self._free_memory[i] = server.free_memory_gb
+            self._frozen[i] = server.frozen
+            self._failed[i] = server.failed
+            self._offline[i] = server.powered_off
+
+    def mirror_matches_servers(self) -> bool:
+        """True when the mirror agrees with the Server source of truth."""
+        for i, server in enumerate(self.servers):
+            if abs(self._free_cores[i] - server.free_cores) > 1e-6:
+                return False
+            if abs(self._free_memory[i] - server.free_memory_gb) > 1e-6:
+                return False
+            if bool(self._frozen[i]) != server.frozen:
+                return False
+            if bool(self._failed[i]) != server.failed:
+                return False
+            if bool(self._offline[i]) != server.powered_off:
+                return False
+        return True
+
+
+__all__ = ["ResourceTracker"]

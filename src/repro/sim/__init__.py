@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine and controlled-experiment harness."""
+
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+
+__all__ = ["Engine", "EventPriority"]

@@ -1,0 +1,191 @@
+"""Experiment campaigns: the paper's 20-day Table 3 study as a harness.
+
+Table 3 comes from running Ampere "over an experiment period of 20 days
+... using different over-provisioning ratio under varying production
+workload". A :class:`Campaign` is the reusable version of that: a list of
+cells (over-provision ratio x workload x seed/day), executed with the
+Section 4.4 design, aggregated into rows, and exportable to CSV/JSON for
+archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
+from repro.sim.testbed import WorkloadSpec
+
+CellCallback = Callable[["CampaignCell", ExperimentResult], None]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One experiment day: a ratio, a workload, a seed."""
+
+    over_provision_ratio: float
+    workload_name: str
+    workload: WorkloadSpec
+    seed: int
+
+    def label(self) -> str:
+        return f"r_O={self.over_provision_ratio:.2f} {self.workload_name} seed={self.seed}"
+
+
+@dataclass
+class CampaignRow:
+    """Measured outcome of one cell (a row of Table 3)."""
+
+    cell: CampaignCell
+    p_mean: float
+    p_max: float
+    u_mean: float
+    r_t: float
+    g_tpw: float
+    violations: int
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "r_o": self.cell.over_provision_ratio,
+            "workload": self.cell.workload_name,
+            "seed": self.cell.seed,
+            "p_mean": self.p_mean,
+            "p_max": self.p_max,
+            "u_mean": self.u_mean,
+            "r_t": self.r_t,
+            "g_tpw": self.g_tpw,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """All rows of a finished campaign plus aggregation helpers."""
+
+    rows: List[CampaignRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def filter(
+        self,
+        r_o: Optional[float] = None,
+        workload: Optional[str] = None,
+    ) -> List[CampaignRow]:
+        out = self.rows
+        if r_o is not None:
+            out = [r for r in out if abs(r.cell.over_provision_ratio - r_o) < 1e-12]
+        if workload is not None:
+            out = [r for r in out if r.cell.workload_name == workload]
+        return out
+
+    def mean_gtpw(self, r_o: float, workload: Optional[str] = None) -> float:
+        rows = self.filter(r_o=r_o, workload=workload)
+        if not rows:
+            raise KeyError(f"no campaign rows for r_O={r_o}, workload={workload}")
+        return sum(r.g_tpw for r in rows) / len(rows)
+
+    def best_ratio(self, by: str = "worst_case") -> float:
+        """The r_O maximizing mean G_TPW ('mean') or the minimum across
+        workload levels ('worst_case', the robust choice)."""
+        ratios = sorted({r.cell.over_provision_ratio for r in self.rows})
+        workloads = sorted({r.cell.workload_name for r in self.rows})
+        if not ratios:
+            raise ValueError("empty campaign")
+
+        def score(r_o: float) -> float:
+            gains = [self.mean_gtpw(r_o, w) for w in workloads]
+            return min(gains) if by == "worst_case" else sum(gains) / len(gains)
+
+        return max(ratios, key=score)
+
+    # ------------------------------------------------------------------
+    def save_csv(self, path: Union[str, Path]) -> None:
+        records = [row.as_record() for row in self.rows]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+            writer.writeheader()
+            writer.writerows(records)
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        with open(path, "w") as handle:
+            json.dump([row.as_record() for row in self.rows], handle, indent=2)
+
+
+class Campaign:
+    """Runs a grid of Section 4.4 experiments.
+
+    Parameters
+    ----------
+    ratios / workloads / seeds:
+        The grid: every combination becomes one cell ("day").
+    n_servers / duration_hours / warmup_hours:
+        Per-cell experiment configuration.
+    """
+
+    def __init__(
+        self,
+        ratios: Sequence[float] = (0.13, 0.17, 0.21, 0.25),
+        workloads: Optional[Dict[str, WorkloadSpec]] = None,
+        seeds: Sequence[int] = (13,),
+        n_servers: int = 400,
+        duration_hours: float = 12.0,
+        warmup_hours: float = 1.0,
+    ) -> None:
+        if not ratios:
+            raise ValueError("campaign needs at least one over-provision ratio")
+        if not seeds:
+            raise ValueError("campaign needs at least one seed")
+        if workloads is None:
+            workloads = {
+                "light": WorkloadSpec.light(),
+                "typical": WorkloadSpec.typical(),
+                "heavy": WorkloadSpec.heavy(),
+            }
+        self.cells: List[CampaignCell] = [
+            CampaignCell(r_o, name, spec, seed)
+            for r_o in ratios
+            for name, spec in workloads.items()
+            for seed in seeds
+        ]
+        self.n_servers = n_servers
+        self.duration_hours = duration_hours
+        self.warmup_hours = warmup_hours
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def run(self, on_cell: Optional[CellCallback] = None) -> CampaignResult:
+        """Execute every cell; ``on_cell`` is called after each (progress)."""
+        result = CampaignResult()
+        for cell in self.cells:
+            config = ExperimentConfig(
+                n_servers=self.n_servers,
+                duration_hours=self.duration_hours,
+                warmup_hours=self.warmup_hours,
+                over_provision_ratio=cell.over_provision_ratio,
+                scale_control_budget=False,  # Section 4.4 design
+                workload=cell.workload,
+                seed=cell.seed,
+            )
+            outcome = ControlledExperiment(config).run()
+            summary = outcome.experiment.summary
+            row = CampaignRow(
+                cell=cell,
+                p_mean=summary.p_mean,
+                p_max=summary.p_max,
+                u_mean=summary.u_mean,
+                r_t=outcome.r_t,
+                g_tpw=outcome.g_tpw,
+                violations=summary.violations,
+            )
+            result.rows.append(row)
+            if on_cell is not None:
+                on_cell(cell, outcome)
+        return result
+
+
+__all__ = ["Campaign", "CampaignCell", "CampaignRow", "CampaignResult"]

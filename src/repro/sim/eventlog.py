@@ -1,0 +1,115 @@
+"""Structured log of control-plane actions.
+
+Production power controllers need an audit trail: who froze what, when,
+and what the hardware safety net did underneath. The log subscribes to
+the scheduler's control hooks (freeze/unfreeze/fail/repair) and to
+per-server DVFS changes, timestamps everything against the simulation
+clock, and supports range queries and CSV export for post-mortems.
+"""
+
+from __future__ import annotations
+
+import csv
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.cluster.server import Server
+from repro.sim.engine import Engine
+
+KNOWN_KINDS = ("freeze", "unfreeze", "fail", "repair", "cap", "uncap")
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One control action against one server."""
+
+    time: float
+    kind: str
+    server_id: int
+    detail: str = ""
+
+
+class ControlEventLog:
+    """Time-ordered record of every control action."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.events: List[ControlEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, server_id: int, detail: str = "") -> None:
+        if kind not in KNOWN_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self.events.append(
+            ControlEvent(self.engine.now, kind, server_id, detail)
+        )
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Subscribe to a scheduler's freeze/unfreeze/fail/repair hooks."""
+        scheduler.control_listeners.append(self.record)
+
+    def attach_servers(self, servers: Iterable[Server]) -> None:
+        """Subscribe to DVFS changes (capping activity) on servers."""
+        for server in servers:
+            server.frequency_listeners.append(self._on_frequency_change)
+
+    def _on_frequency_change(self, server: Server, old: float, new: float) -> None:
+        kind = "cap" if new < old else "uncap"
+        self.events.append(
+            ControlEvent(
+                self.engine.now, kind, server.server_id, f"{old:.2f}->{new:.2f}"
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def between(self, start: float, end: float) -> List[ControlEvent]:
+        """Events with ``start <= time < end`` (log is append-ordered)."""
+        times = [e.time for e in self.events]
+        lo = bisect_left(times, start)
+        hi = bisect_left(times, end)
+        return self.events[lo:hi]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def for_server(self, server_id: int) -> List[ControlEvent]:
+        return [e for e in self.events if e.server_id == server_id]
+
+    def freeze_durations(self) -> List[float]:
+        """Completed freeze->unfreeze durations per server (diagnostics)."""
+        open_freezes: Dict[int, float] = {}
+        durations: List[float] = []
+        for event in self.events:
+            if event.kind == "freeze":
+                open_freezes[event.server_id] = event.time
+            elif event.kind == "unfreeze":
+                started = open_freezes.pop(event.server_id, None)
+                if started is not None:
+                    durations.append(event.time - started)
+        return durations
+
+    # ------------------------------------------------------------------
+    def dump_csv(self, path: Union[str, Path]) -> int:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time", "kind", "server_id", "detail"])
+            for event in self.events:
+                writer.writerow(
+                    [repr(event.time), event.kind, event.server_id, event.detail]
+                )
+        return len(self.events)
+
+
+__all__ = ["ControlEvent", "ControlEventLog", "KNOWN_KINDS"]

@@ -1,0 +1,38 @@
+"""Event types and deterministic ordering for the simulation engine.
+
+Events scheduled for the same simulated instant are executed in a fixed,
+documented order so that simulations are bit-for-bit reproducible and so
+that the causality the paper assumes holds: job completions release
+resources *before* new arrivals try to claim them, the power monitor samples
+*before* the controller reads it, and the controller acts *before* the
+reactive capping safety-net re-evaluates the row.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break order for events scheduled at the same simulated time.
+
+    Lower values run first. The ordering encodes the measurement and control
+    pipeline of the paper: state changes (completions, then arrivals and
+    placements) settle first, the monitor then observes the settled state,
+    the Ampere controller consumes the fresh observation, and the hardware
+    capping safety-net runs last so it only engages when the statistical
+    controller has failed to keep power under the budget.
+    """
+
+    JOB_COMPLETION = 0
+    JOB_ARRIVAL = 10
+    SCHEDULE_PASS = 20
+    INTERACTIVE = 30
+    MONITOR_SAMPLE = 40
+    CONTROLLER_TICK = 50
+    CAPPING_TICK = 60
+    EXPERIMENT_HOOK = 70
+    GENERIC = 100
+
+
+__all__ = ["EventPriority"]

@@ -1,0 +1,243 @@
+"""The controlled A/B experiment of Section 4.1.2.
+
+Servers are split into an *experiment* group and a *control* group by the
+parity of their ids, both fed by the same scheduler, so the groups see
+statistically identical workload. Over-provisioning is emulated by scaling
+the power budget down (Eq. 16): with budget ``P'_M = rated/(1 + r_O)`` the
+group behaves exactly as if ``r_O`` extra servers had been packed into a
+fixed budget. Ampere controls only the experiment group; any divergence
+between the groups is therefore the effect of the control.
+
+Two scaling modes match the paper's two uses of the harness:
+
+- ``scale_control_budget=True`` (Section 4.2): both groups' budgets are
+  scaled, so violation counts can be compared like-for-like.
+- ``scale_control_budget=False`` (Section 4.4): only the experiment
+  group's budget is scaled; the control group represents conservative
+  rated-power provisioning and the throughput ratio ``r_T`` feeds the
+  G_TPW estimate of Eq. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    GroupRunSummary,
+    gain_in_tpw,
+    summarize_power_series,
+    throughput_ratio,
+)
+from repro.cluster.capping import CappingEngine, CappingStats
+from repro.cluster.group import ServerGroup
+from repro.core.config import AmpereConfig
+from repro.core.controller import AmpereController
+from repro.core.demand import ConstantDemandEstimator, DemandEstimator
+from repro.core.freeze_model import DEFAULT_K_R, FreezeEffectModel
+from repro.scheduler.policies import PlacementPolicy
+from repro.sim.testbed import Testbed, WorkloadSpec
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one controlled experiment run."""
+
+    n_servers: int = 400
+    duration_hours: float = 24.0
+    warmup_hours: float = 1.0
+    over_provision_ratio: float = 0.25
+    scale_control_budget: bool = True
+    workload: WorkloadSpec = WorkloadSpec()
+    ampere_enabled: bool = True
+    capping_enabled: bool = False
+    ampere: AmpereConfig = AmpereConfig()
+    k_r: float = DEFAULT_K_R
+    capping_interval_seconds: float = 5.0
+    monitor_noise_sigma: float = 0.01
+    placement_policy: Optional[PlacementPolicy] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ValueError(f"duration_hours must be positive, got {self.duration_hours}")
+        if self.warmup_hours < 0:
+            raise ValueError(f"warmup_hours must be non-negative, got {self.warmup_hours}")
+        if self.over_provision_ratio < 0:
+            raise ValueError(
+                f"over_provision_ratio must be non-negative, got {self.over_provision_ratio}"
+            )
+
+    @property
+    def warmup_seconds(self) -> float:
+        return self.warmup_hours * SECONDS_PER_HOUR
+
+    @property
+    def end_seconds(self) -> float:
+        return (self.warmup_hours + self.duration_hours) * SECONDS_PER_HOUR
+
+
+@dataclass
+class GroupOutcome:
+    """Measured behaviour of one group during the measurement window."""
+
+    summary: GroupRunSummary
+    power_times: np.ndarray
+    normalized_power: np.ndarray
+    throughput: int
+    u_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    u_values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: scheduling-queue wait of jobs accepted by this group (seconds);
+    #: freezing shows up here, never in running jobs
+    mean_wait_seconds: float = 0.0
+    p99_wait_seconds: float = 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the evaluation needs from one run."""
+
+    config: ExperimentConfig
+    experiment: GroupOutcome
+    control: GroupOutcome
+    r_t: float
+    g_tpw: float
+    capping_stats: Optional[CappingStats] = None
+
+    def violations(self) -> dict:
+        return {
+            "experiment": self.experiment.summary.violations,
+            "control": self.control.summary.violations,
+        }
+
+
+class ControlledExperiment:
+    """Build, run and summarize one controlled experiment."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig = ExperimentConfig(),
+        demand_estimator: Optional[DemandEstimator] = None,
+    ) -> None:
+        self.config = config
+        self.testbed = Testbed(
+            n_servers=config.n_servers,
+            seed=config.seed,
+            monitor_noise_sigma=config.monitor_noise_sigma,
+            placement_policy=config.placement_policy,
+        )
+        self.experiment_group, self.control_group = self.testbed.split_by_parity()
+        self.experiment_group.set_over_provision_ratio(config.over_provision_ratio)
+        if config.scale_control_budget:
+            self.control_group.set_over_provision_ratio(config.over_provision_ratio)
+        self.testbed.monitor.register_groups(
+            [self.experiment_group, self.control_group]
+        )
+        self.testbed.throughput.track(self.experiment_group)
+        self.testbed.throughput.track(self.control_group)
+
+        self.controller: Optional[AmpereController] = None
+        if config.ampere_enabled:
+            self.controller = AmpereController(
+                self.testbed.engine,
+                self.testbed.scheduler,
+                self.testbed.monitor,
+                [self.experiment_group],
+                config=config.ampere,
+                freeze_model=FreezeEffectModel(config.k_r),
+                demand_estimator=(
+                    demand_estimator
+                    if demand_estimator is not None
+                    else ConstantDemandEstimator(config.ampere.default_e_t)
+                ),
+            )
+        self.capping: Optional[CappingEngine] = None
+        if config.capping_enabled:
+            self.capping = CappingEngine(
+                self.experiment_group,
+                self.testbed.engine,
+                interval=config.capping_interval_seconds,
+            )
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the experiment and return measured outcomes."""
+        if self._ran:
+            raise RuntimeError("experiment already ran; build a new instance")
+        self._ran = True
+        config = self.config
+        end = config.end_seconds
+        warmup = config.warmup_seconds
+
+        generator = self.testbed.add_batch_workload(config.workload, end)
+        generator.start(end)
+        # Monitoring, control and capping begin after warm-up so the
+        # measurement window starts from steady state.
+        self.testbed.monitor.start(end, first_at=warmup)
+        if self.controller is not None:
+            self.controller.start(end, first_at=warmup)
+        if self.capping is not None:
+            self.capping.start(end, first_at=warmup)
+        self.testbed.engine.run(until=end)
+
+        return self._collect(warmup, end)
+
+    # ------------------------------------------------------------------
+    def _collect(self, warmup: float, end: float) -> ExperimentResult:
+        experiment = self._collect_group(self.experiment_group, warmup, end)
+        control = self._collect_group(self.control_group, warmup, end)
+        r_t = throughput_ratio(experiment.throughput, control.throughput)
+        g_tpw = gain_in_tpw(r_t, self.config.over_provision_ratio)
+        return ExperimentResult(
+            config=self.config,
+            experiment=experiment,
+            control=control,
+            r_t=r_t,
+            g_tpw=g_tpw,
+            capping_stats=self.capping.stats if self.capping is not None else None,
+        )
+
+    def _collect_group(
+        self, group: ServerGroup, warmup: float, end: float
+    ) -> GroupOutcome:
+        times, norm = self.testbed.monitor.normalized_power_series(
+            group.name, start=warmup, end=end
+        )
+        throughput = self.testbed.throughput.window_total(group.name, warmup, end)
+        u_times = np.empty(0)
+        u_values = np.empty(0)
+        if self.controller is not None and group.name in self.controller.states:
+            state = self.controller.state_of(group.name)
+            u_times = np.asarray(state.u_times)
+            u_values = np.asarray(state.u_history)
+        summary = summarize_power_series(
+            group.name,
+            norm,
+            u_history=u_values,
+            throughput=throughput,
+            budget=1.0,
+        )
+        record = self.testbed.throughput.records[group.name]
+        return GroupOutcome(
+            summary=summary,
+            power_times=times,
+            normalized_power=norm,
+            throughput=throughput,
+            u_times=u_times,
+            u_values=u_values,
+            mean_wait_seconds=record.mean_wait(),
+            p99_wait_seconds=record.wait_percentile(99.0),
+        )
+
+
+__all__ = [
+    "ExperimentConfig",
+    "ControlledExperiment",
+    "ExperimentResult",
+    "GroupOutcome",
+]

@@ -1,0 +1,179 @@
+"""Extension experiment: cross-row power-aware job steering (Section 6).
+
+The paper's first future-work item is to let the scheduler spread load
+across rows by power condition, creating more exploitable head-room,
+while keeping Ampere's freeze/unfreeze interface unchanged. This harness
+builds a multi-row data center where each row carries its own pinned
+product (hot / medium / cold) plus a shared *flexible* product that may
+run anywhere, over-provisions every row, runs one Ampere controller over
+all rows, and swaps the flexible product's placement policy between
+power-oblivious (uniform random) and power-aware
+(:class:`~repro.scheduler.power_aware.CoolestRowPolicy`).
+
+Expected shape: steering flexible jobs toward cool rows relieves the hot
+row, so the controller freezes less and the fleet takes fewer violations
+at equal throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.datacenter import build_datacenter
+from repro.core.config import AmpereConfig
+from repro.core.controller import AmpereController
+from repro.core.freeze_model import FreezeEffectModel
+from repro.monitor.power_monitor import PowerMonitor
+from repro.monitor.tsdb import TimeSeriesDatabase
+from repro.scheduler.omega import Framework, OmegaScheduler
+from repro.scheduler.power_aware import CoolestRowPolicy
+from repro.sim.engine import Engine
+from repro.workload.distributions import (
+    JobDurationDistribution,
+    ResourceDemandDistribution,
+    rate_for_target_utilization,
+)
+from repro.workload.generator import BatchWorkloadGenerator, DiurnalRateProfile, ModulatedRateProfile
+
+
+@dataclass(frozen=True)
+class SteeringConfig:
+    n_rows: int = 3
+    racks_per_row: int = 2
+    servers_per_rack: int = 40
+    #: pinned per-row task utilization (hot, ..., cold)
+    row_utilizations: tuple = (0.26, 0.16, 0.06)
+    #: flexible product's fleet-wide utilization share
+    flexible_utilization: float = 0.10
+    over_provision_ratio: float = 0.20
+    duration_hours: float = 8.0
+    warmup_hours: float = 1.0
+    cores: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.row_utilizations) != self.n_rows:
+            raise ValueError(
+                f"need {self.n_rows} row utilizations, got {len(self.row_utilizations)}"
+            )
+
+
+@dataclass
+class SteeringResult:
+    policy: str
+    total_violations: int
+    violations_by_row: Dict[str, int]
+    mean_freezing_ratio: float
+    throughput: int
+    row_power_means: Dict[str, float]
+
+
+def run_steering_scenario(
+    policy: str, config: SteeringConfig = SteeringConfig()
+) -> SteeringResult:
+    """Run one scenario: ``policy`` is ``"random"`` or ``"coolest-row"``."""
+    if policy not in ("random", "coolest-row"):
+        raise ValueError(f"policy must be 'random' or 'coolest-row', got {policy!r}")
+    datacenter = build_datacenter(
+        rows=config.n_rows,
+        racks_per_row=config.racks_per_row,
+        servers_per_rack=config.servers_per_rack,
+        cores=config.cores,
+    )
+    engine = Engine()
+    seeds = np.random.SeedSequence(config.seed).spawn(4 + config.n_rows)
+    scheduler = OmegaScheduler(
+        engine, datacenter.servers, rng=np.random.default_rng(seeds[0])
+    )
+    if policy == "coolest-row":
+        scheduler.register_framework(
+            Framework("flexible", policy=CoolestRowPolicy(datacenter.rows))
+        )
+    else:
+        scheduler.register_framework(Framework("flexible"))
+
+    db = TimeSeriesDatabase()
+    monitor = PowerMonitor(engine, db=db, rng=np.random.default_rng(seeds[1]))
+    for row in datacenter.rows:
+        row.set_over_provision_ratio(config.over_provision_ratio)
+        monitor.register_group(row)
+
+    warmup = config.warmup_hours * 3600.0
+    end = warmup + config.duration_hours * 3600.0
+    duration_dist = JobDurationDistribution()
+    demand_dist = ResourceDemandDistribution()
+
+    # Pinned per-row products.
+    for i, row in enumerate(datacenter.rows):
+        rate = rate_for_target_utilization(
+            len(row.servers), config.cores, config.row_utilizations[i], demand=demand_dist
+        )
+        profile = ModulatedRateProfile(
+            DiurnalRateProfile(rate, amplitude=0.15),
+            horizon_seconds=end,
+            seed=int(seeds[2 + i].generate_state(1)[0]),
+        )
+        BatchWorkloadGenerator(
+            engine, scheduler, profile,
+            rng=np.random.default_rng(seeds[2 + i]),
+            duration=duration_dist, demand=demand_dist,
+            product=f"pinned-{i}", allowed_rows=[row.row_id],
+            job_id_offset=(i + 1) * 10_000_000,
+        ).start(end)
+
+    # The flexible product: free to run in any row.
+    flexible_rate = rate_for_target_utilization(
+        len(datacenter.servers), config.cores, config.flexible_utilization,
+        demand=demand_dist,
+    )
+    flexible_seed = seeds[2 + config.n_rows]
+    BatchWorkloadGenerator(
+        engine, scheduler,
+        ModulatedRateProfile(
+            DiurnalRateProfile(flexible_rate, amplitude=0.15),
+            horizon_seconds=end,
+            seed=int(flexible_seed.generate_state(1)[0]),
+        ),
+        rng=np.random.default_rng(flexible_seed),
+        duration=duration_dist, demand=demand_dist,
+        product="flexible",
+    ).start(end)
+
+    controller = AmpereController(
+        engine, scheduler, monitor, datacenter.rows,
+        config=AmpereConfig(),
+        freeze_model=FreezeEffectModel(),
+    )
+    monitor.start(end, first_at=warmup)
+    controller.start(end, first_at=warmup)
+    engine.run(until=end)
+
+    violations = {row.name: monitor.violation_count(row.name) for row in datacenter.rows}
+    u_means = [controller.state_of(row.name).u_mean for row in datacenter.rows]
+    power_means = {
+        row.name: float(monitor.normalized_power_series(row.name)[1].mean())
+        for row in datacenter.rows
+    }
+    return SteeringResult(
+        policy=policy,
+        total_violations=sum(violations.values()),
+        violations_by_row=violations,
+        mean_freezing_ratio=float(np.mean(u_means)),
+        throughput=scheduler.stats.placed,
+        row_power_means=power_means,
+    )
+
+
+def run_steering_comparison(
+    config: SteeringConfig = SteeringConfig(),
+) -> Dict[str, SteeringResult]:
+    return {
+        "random": run_steering_scenario("random", config),
+        "coolest-row": run_steering_scenario("coolest-row", config),
+    }
+
+
+__all__ = ["SteeringConfig", "SteeringResult", "run_steering_scenario", "run_steering_comparison"]

@@ -1,0 +1,165 @@
+"""Fitting workload models from recorded traces.
+
+The paper's generators are calibrated to published aggregate statistics;
+a production deployment would calibrate them from its own traces. This
+module closes that loop: given job records (e.g. from
+:mod:`repro.workload.replay`), fit the clipped-lognormal duration model,
+the core-demand mix, and the mean arrival rate, and return ready-to-use
+distribution objects. Fitting + regeneration round-trips are tested
+against synthetic ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.distributions import (
+    JobDurationDistribution,
+    ResourceDemandDistribution,
+)
+from repro.workload.replay import JobTraceRecord
+
+
+@dataclass(frozen=True)
+class WorkloadFit:
+    """Everything needed to regenerate a statistically similar workload."""
+
+    duration: JobDurationDistribution
+    demand: ResourceDemandDistribution
+    arrival_rate_per_second: float
+    n_jobs: int
+
+    def offered_core_seconds_per_second(self) -> float:
+        """The fitted offered load (Little's law left-hand side)."""
+        return (
+            self.arrival_rate_per_second
+            * self.demand.mean_cores
+            * self.duration.mean_analytic()
+        )
+
+
+def _normal_pdf(x: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi)
+
+
+def _phi_cdf(x: float) -> float:
+    import math
+
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def _truncated_normal_fit(
+    samples: np.ndarray, lower: float, upper: float, iterations: int = 200
+) -> Tuple[float, float]:
+    """Fit N(mu, sigma) given samples observed truncated to (lower, upper).
+
+    Moment-matching fixed point: given a candidate (mu, sigma), the
+    implied truncated mean/variance follow the standard formulas; the
+    candidate is nudged until they match the sample moments. Converges in
+    a few dozen iterations for realistic clip fractions.
+    """
+    m_obs = float(np.mean(samples))
+    v_obs = float(np.var(samples, ddof=1))
+    mu, sigma = m_obs, float(np.sqrt(v_obs))
+    for _ in range(iterations):
+        alpha = (lower - mu) / sigma
+        beta = (upper - mu) / sigma
+        z = _phi_cdf(beta) - _phi_cdf(alpha)
+        if z <= 1e-12:
+            break
+        pdf_a = float(_normal_pdf(np.array(alpha)))
+        pdf_b = float(_normal_pdf(np.array(beta)))
+        lam = (pdf_a - pdf_b) / z
+        m_impl = mu + sigma * lam
+        v_impl = sigma * sigma * (
+            1.0 + (alpha * pdf_a - beta * pdf_b) / z - lam * lam
+        )
+        if v_impl <= 0:
+            break
+        mu += m_obs - m_impl
+        sigma *= float(np.sqrt(max(v_obs / v_impl, 1e-6)))
+    return mu, sigma
+
+
+def fit_duration_distribution(
+    durations_seconds: Sequence[float],
+    max_seconds: float = 50.0 * 60.0,
+    min_seconds: float = 5.0,
+) -> JobDurationDistribution:
+    """Fit the clipped lognormal from observed (clipped) durations.
+
+    Samples at the clip boundaries are censored; the interior samples are
+    a *truncated* lognormal, so a naive mean/std of their logs is biased.
+    The fit corrects for the truncation by moment matching against the
+    truncated-normal formulas in log space.
+    """
+    data = np.asarray(durations_seconds, dtype=float)
+    if data.size < 30:
+        raise ValueError(f"need at least 30 durations to fit, got {data.size}")
+    interior = data[(data > min_seconds * 1.001) & (data < max_seconds * 0.999)]
+    if interior.size < 30:
+        raise ValueError("too few interior (non-clipped) samples to fit")
+    log_minutes = np.log(interior / 60.0)
+    lower = np.log(min_seconds / 60.0)
+    upper = np.log(max_seconds / 60.0)
+    mu, sigma = _truncated_normal_fit(log_minutes, lower, upper)
+    if sigma <= 0:
+        raise ValueError("degenerate duration sample (zero variance)")
+    return JobDurationDistribution(
+        log_mu_minutes=float(mu),
+        log_sigma=float(sigma),
+        max_seconds=max_seconds,
+        min_seconds=min_seconds,
+    )
+
+
+def fit_demand_distribution(
+    cores: Sequence[float], memory_gb: Sequence[float]
+) -> ResourceDemandDistribution:
+    """Empirical categorical fit of the core mix and memory/core ratio."""
+    cores = np.asarray(cores, dtype=float)
+    memory = np.asarray(memory_gb, dtype=float)
+    if cores.size == 0 or cores.shape != memory.shape:
+        raise ValueError("need equal-length, non-empty cores and memory samples")
+    counts = Counter(cores.tolist())
+    choices = tuple(sorted(counts))
+    weights = tuple(counts[c] / cores.size for c in choices)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = memory / cores
+    memory_per_core = float(np.median(ratios[np.isfinite(ratios)]))
+    return ResourceDemandDistribution(
+        core_choices=choices,
+        core_weights=weights,
+        memory_per_core_gb=memory_per_core,
+    )
+
+
+def fit_workload(records: Sequence[JobTraceRecord]) -> WorkloadFit:
+    """Fit all workload models from a job trace."""
+    if len(records) < 30:
+        raise ValueError(f"need at least 30 records, got {len(records)}")
+    durations = [r.work_seconds for r in records]
+    cores = [r.cores for r in records]
+    memory = [r.memory_gb for r in records]
+    arrivals = np.asarray(sorted(r.arrival_time for r in records))
+    span = arrivals[-1] - arrivals[0]
+    if span <= 0:
+        raise ValueError("trace spans zero time")
+    return WorkloadFit(
+        duration=fit_duration_distribution(durations),
+        demand=fit_demand_distribution(cores, memory),
+        arrival_rate_per_second=(len(records) - 1) / span,
+        n_jobs=len(records),
+    )
+
+
+__all__ = [
+    "WorkloadFit",
+    "fit_duration_distribution",
+    "fit_demand_distribution",
+    "fit_workload",
+]

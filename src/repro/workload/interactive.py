@@ -1,0 +1,277 @@
+"""Interactive (Redis-like) service and latency benchmark (Figure 11).
+
+The paper deploys a Redis cluster on an over-provisioned row and drives it
+with redis-benchmark while batch jobs push row power against the budget,
+comparing p99.9 latency under DVFS power capping vs. under Ampere. The
+mechanism being measured: Redis is CPU-bound, so capping a busy Redis
+server stretches every request's service time by ``1/frequency`` and the
+queueing delay compounds it at the tail, while Ampere's freeze/unfreeze
+never touches running services.
+
+This module substitutes a queueing model for the real Redis cluster:
+
+- an :class:`InteractiveService` pins a long-running CPU reservation to a
+  server (so the service contributes row power) and records the server's
+  DVFS frequency timeline;
+- :class:`RedisBenchmark` replays each operation type through a G/G/1
+  Lindley recursion against that frequency timeline, which yields exact
+  waiting times for the sampled arrival/service processes.
+
+DVFS epochs last seconds-to-minutes while requests last microseconds, so
+evaluating the frequency at request arrival is an accurate approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.server import Server
+from repro.workload.job import Job
+
+#: redis-benchmark operation mix with base service times (seconds) at full
+#: frequency. LRANGE_600 walks a 600-element list and is an order of
+#: magnitude heavier than point operations, as in the paper's Figure 11.
+REDIS_OPERATIONS: Dict[str, float] = {
+    "SET": 60e-6,
+    "GET": 50e-6,
+    "LPUSH": 60e-6,
+    "LPOP": 60e-6,
+    "LRANGE_600": 700e-6,
+    "MSET": 150e-6,
+}
+
+
+class InteractiveService:
+    """A latency-critical service instance pinned to one server.
+
+    The service occupies ``cores`` for its whole life (it is registered
+    with the server directly, not through the scheduler -- services are
+    long-lived and pinned in production) and transcribes the server's DVFS
+    frequency changes into a timeline the benchmark replays.
+    """
+
+    _next_service_id = 1_000_000_000
+
+    def __init__(self, server: Server, engine, scheduler, cores: float = 8.0) -> None:
+        self.server = server
+        self.engine = engine
+        self.cores = cores
+        start_time = engine.now
+        # A pseudo-job holds the resource reservation; it never completes.
+        self._reservation = Job(
+            job_id=InteractiveService._next_service_id,
+            work_seconds=float("inf"),
+            cores=cores,
+            memory_gb=cores * 2.0,
+            arrival_time=start_time,
+            product="interactive",
+        )
+        InteractiveService._next_service_id += 1
+        scheduler.place_pinned(self._reservation, server.server_id)
+        self._frequency_changes: List[Tuple[float, float]] = [
+            (start_time, server.frequency)
+        ]
+        server.frequency_listeners.append(self._on_frequency_change)
+
+    def _on_frequency_change(
+        self, server: Server, old_frequency: float, new_frequency: float
+    ) -> None:
+        self._frequency_changes.append((self.engine.now, new_frequency))
+
+    def frequency_timeline(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(change_times, frequencies)`` arrays, first entry at start."""
+        times = np.array([t for t, _ in self._frequency_changes])
+        freqs = np.array([f for _, f in self._frequency_changes])
+        return times, freqs
+
+    def frequency_at(self, times: np.ndarray) -> np.ndarray:
+        """Frequency in effect at each query time (vectorized)."""
+        change_times, freqs = self.frequency_timeline()
+        indices = np.searchsorted(change_times, times, side="right") - 1
+        indices = np.clip(indices, 0, len(freqs) - 1)
+        return freqs[indices]
+
+    def fraction_time_capped(self, start: float, end: float) -> float:
+        """Fraction of [start, end) spent below full frequency."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        grid = np.linspace(start, end, 2049)
+        return float(np.mean(self.frequency_at(grid) < 1.0))
+
+
+@dataclass
+class LatencyReport:
+    """Latency percentiles for one operation type."""
+
+    operation: str
+    requests: int
+    p50: float
+    p99: float
+    p999: float
+    mean: float
+
+
+def lindley_waits(interarrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Waiting times of a FIFO single-server queue (Lindley recursion).
+
+    ``W[0] = 0; W[n] = max(0, W[n-1] + S[n-1] - A[n])`` where ``A[n]`` is
+    the gap between arrivals n-1 and n. Computed in closed form: with
+    ``X[n] = S[n-1] - A[n]`` and ``C`` its cumulative sum (``C[0] = 0``),
+    ``W[n] = C[n] - min(C[0..n])``, which vectorizes to a running minimum
+    -- essential because a benchmark replays millions of requests.
+    """
+    if interarrivals.shape != services.shape:
+        raise ValueError("interarrivals and services must have equal shape")
+    n = len(services)
+    if n == 0:
+        return np.empty(0)
+    cumulative = np.empty(n)
+    cumulative[0] = 0.0
+    np.cumsum(services[:-1] - interarrivals[1:], out=cumulative[1:])
+    return cumulative - np.minimum.accumulate(cumulative)
+
+
+class RedisBenchmark:
+    """Replays redis-benchmark against a set of interactive services.
+
+    Like the real redis-benchmark, each operation type is driven in its
+    own phase at a fixed offered rate, spread uniformly across the service
+    instances; the client-side latency of a request is queueing wait plus
+    frequency-scaled service time.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[InteractiveService],
+        rng: np.random.Generator,
+        target_utilization: float = 0.35,
+        service_cv: float = 0.5,
+        max_requests_per_server: int = 2_000_000,
+    ) -> None:
+        if not services:
+            raise ValueError("need at least one service instance")
+        if not 0.0 < target_utilization < 1.0:
+            raise ValueError(
+                f"target_utilization must be in (0, 1), got {target_utilization}"
+            )
+        if service_cv < 0:
+            raise ValueError(f"service_cv must be non-negative, got {service_cv}")
+        if max_requests_per_server < 1000:
+            raise ValueError("max_requests_per_server must be at least 1000")
+        self.services = list(services)
+        self.rng = rng
+        self.target_utilization = target_utilization
+        self.service_cv = service_cv
+        self.max_requests_per_server = max_requests_per_server
+
+    def run_operation(
+        self, operation: str, start: float, end: float
+    ) -> LatencyReport:
+        """Benchmark one operation type over the window [start, end)."""
+        if operation not in REDIS_OPERATIONS:
+            raise KeyError(f"unknown operation {operation!r}")
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        base_service = REDIS_OPERATIONS[operation]
+        latencies: List[np.ndarray] = []
+        for service in self.services:
+            latencies.append(self._one_server(service, base_service, start, end))
+        merged = np.concatenate(latencies)
+        return LatencyReport(
+            operation=operation,
+            requests=len(merged),
+            p50=float(np.percentile(merged, 50)),
+            p99=float(np.percentile(merged, 99)),
+            p999=float(np.percentile(merged, 99.9)),
+            mean=float(merged.mean()),
+        )
+
+    def run_all(
+        self, start: float, end: float, operations: Optional[Sequence[str]] = None
+    ) -> Dict[str, LatencyReport]:
+        ops = list(operations) if operations is not None else list(REDIS_OPERATIONS)
+        return {op: self.run_operation(op, start, end) for op in ops}
+
+    # ------------------------------------------------------------------
+    _N_SEGMENTS = 64
+
+    def _one_server(
+        self,
+        service: InteractiveService,
+        base_service: float,
+        start: float,
+        end: float,
+    ) -> np.ndarray:
+        """Client-observed latencies of one server over the window.
+
+        Open-loop Poisson arrivals at the rate that loads the server to the
+        target utilization at full frequency. When the full window would
+        exceed the request budget, the window is split into equal segments
+        and an evenly strided subset is replayed -- stratified across the
+        whole window so capped epochs anywhere in the run are covered
+        proportionally.
+        """
+        rate = self.target_utilization / base_service
+        total_expected = rate * (end - start)
+        if total_expected <= self.max_requests_per_server:
+            windows = [(start, end)]
+        else:
+            # Replay K windows centered in K equal strata of the full
+            # range, sized so the total request count meets the budget.
+            # Every part of the run -- capped or not -- is sampled with
+            # equal weight.
+            k = self._N_SEGMENTS
+            stratum = (end - start) / k
+            window_len = min(self.max_requests_per_server / k / rate, stratum)
+            windows = []
+            for i in range(k):
+                center = start + (i + 0.5) * stratum
+                windows.append((center - window_len / 2, center + window_len / 2))
+        latencies = [
+            self._simulate_window(service, base_service, rate, w0, w1)
+            for w0, w1 in windows
+        ]
+        return np.concatenate(latencies)
+
+    def _simulate_window(
+        self,
+        service: InteractiveService,
+        base_service: float,
+        rate: float,
+        start: float,
+        end: float,
+    ) -> np.ndarray:
+        expected = int(rate * (end - start))
+        gaps = self.rng.exponential(1.0 / rate, size=max(int(expected * 1.1), 64))
+        arrivals = start + np.cumsum(gaps)
+        arrivals = arrivals[arrivals < end]
+        if len(arrivals) < 2:
+            raise ValueError(
+                "benchmark window too short for the configured request rate"
+            )
+        # Gamma-distributed service times (cv configurable), stretched by
+        # 1/frequency at the arrival instant.
+        if self.service_cv > 0:
+            shape = 1.0 / (self.service_cv**2)
+            raw = self.rng.gamma(shape, base_service / shape, size=len(arrivals))
+        else:
+            raw = np.full(len(arrivals), base_service)
+        frequency = service.frequency_at(arrivals)
+        services = raw / frequency
+        interarrivals = np.empty_like(arrivals)
+        interarrivals[0] = 0.0
+        interarrivals[1:] = np.diff(arrivals)
+        waits = lindley_waits(interarrivals, services)
+        return waits + services
+
+
+__all__ = [
+    "InteractiveService",
+    "RedisBenchmark",
+    "LatencyReport",
+    "lindley_waits",
+    "REDIS_OPERATIONS",
+]

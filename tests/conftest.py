@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.power import PowerModelParams
+from repro.cluster.server import Server
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_server(server_id: int = 0, cores: int = 16, **kwargs) -> Server:
+    return Server(server_id, cores=cores, **kwargs)
+
+
+@pytest.fixture
+def server() -> Server:
+    return make_server()
+
+
+@pytest.fixture
+def power_params() -> PowerModelParams:
+    return PowerModelParams()

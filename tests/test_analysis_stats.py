@@ -1,0 +1,98 @@
+"""Tests for the statistics helpers behind the figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    cdf_at,
+    empirical_cdf,
+    first_order_differences,
+    k_scale_max_differences,
+    pairwise_correlations,
+    pearson_correlation,
+)
+
+
+class TestCdf:
+    def test_empirical_cdf_basic(self):
+        values, probs = empirical_cdf([2.0, 1.0, 3.0, 1.0])
+        assert values.tolist() == [1.0, 1.0, 2.0, 3.0]
+        assert probs[-1] == 1.0
+
+    def test_cdf_at(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(samples, 2.5) == 0.5
+        assert cdf_at(samples, 0.0) == 0.0
+        assert cdf_at(samples, 4.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+        with pytest.raises(ValueError):
+            cdf_at([], 1.0)
+
+
+class TestDifferences:
+    def test_first_order(self):
+        diffs = first_order_differences([1.0, 3.0, 2.0])
+        assert diffs.tolist() == [2.0, -1.0]
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            first_order_differences([1.0])
+
+    def test_k_scale_k1_equals_first_order(self):
+        values = [1.0, 3.0, 2.0, 5.0]
+        np.testing.assert_array_equal(
+            k_scale_max_differences(values, 1), first_order_differences(values)
+        )
+
+    def test_k_scale_uses_window_maxima(self):
+        # Windows of 2: maxima are [3, 5, 9]; diffs [2, 4].
+        values = [1.0, 3.0, 5.0, 4.0, 9.0, 2.0]
+        assert k_scale_max_differences(values, 2).tolist() == [2.0, 4.0]
+
+    def test_k_scale_drops_partial_window(self):
+        values = [1.0, 3.0, 5.0, 4.0, 99.0]  # the 99 is in a partial window
+        assert k_scale_max_differences(values, 2).tolist() == [2.0]
+
+    def test_k_scale_validation(self):
+        with pytest.raises(ValueError):
+            k_scale_max_differences([1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            k_scale_max_differences([1.0, 2.0], 2)  # only one window
+
+    def test_larger_scale_has_larger_spread(self, rng):
+        """Figure 9's qualitative shape: longer windows, bigger changes."""
+        walk = np.cumsum(rng.normal(0, 1.0, size=5000))
+        small = np.std(k_scale_max_differences(walk, 1))
+        large = np.std(k_scale_max_differences(walk, 20))
+        assert large > small
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        a = [1.0, 2.0, 3.0]
+        assert pearson_correlation(a, a) == pytest.approx(1.0)
+        assert pearson_correlation(a, [-1.0, -2.0, -3.0]) == pytest.approx(-1.0)
+
+    def test_independent_series_near_zero(self, rng):
+        a = rng.normal(size=5000)
+        b = rng.normal(size=5000)
+        assert abs(pearson_correlation(a, b)) < 0.1
+
+    def test_constant_series_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 1.0], [1.0, 2.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_pairwise_count(self, rng):
+        series = [rng.normal(size=100) for _ in range(5)]
+        assert len(pairwise_correlations(series)) == 10
+
+    def test_pairwise_needs_two(self):
+        with pytest.raises(ValueError):
+            pairwise_correlations([[1.0, 2.0]])

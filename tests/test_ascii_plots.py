@@ -1,0 +1,73 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plots import (
+    column_chart,
+    heatmap,
+    sparkline,
+    sparkline_with_scale,
+)
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(np.arange(1000), width=40)) == 40
+
+    def test_short_series_kept_whole(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_series_renders_monotone(self):
+        line = sparkline(np.linspace(0, 1, 8), width=8)
+        assert list(line) == sorted(line, key=" ▁▂▃▄▅▆▇█".index)
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_shared_scale(self):
+        low = sparkline([0.0, 0.1], lo=0.0, hi=1.0)
+        high = sparkline([0.9, 1.0], lo=0.0, hi=1.0)
+        assert max(low) < max(high)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_with_scale_includes_min_max(self):
+        out = sparkline_with_scale("row-0", [0.5, 1.5])
+        assert "row-0" in out
+        assert "0.500" in out and "1.500" in out
+
+
+class TestHeatmap:
+    def test_rows_rendered_with_labels(self):
+        out = heatmap({"a": [0.0, 1.0], "bb": [1.0, 0.0]}, width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+        assert "scale" in lines[-1]
+
+    def test_shared_scale_shows_imbalance(self):
+        out = heatmap({"cold": [0.0, 0.0], "hot": [1.0, 1.0]}, width=4)
+        cold_line, hot_line = out.splitlines()[:2]
+        assert "█" in hot_line
+        assert "█" not in cold_line
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            heatmap({})
+
+
+class TestColumnChart:
+    def test_bars_proportional(self):
+        out = column_chart({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("█") > a_line.count("█")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            column_chart({})
+        with pytest.raises(ValueError):
+            column_chart({"a": 0.0})

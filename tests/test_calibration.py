@@ -1,0 +1,85 @@
+"""Integration tests for the Figure 4 / Figure 5 calibration experiments."""
+
+import numpy as np
+import pytest
+
+from repro.sim.calibration import (
+    run_freeze_decay,
+    run_freeze_effect_calibration,
+)
+from repro.sim.testbed import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def decay_result():
+    return run_freeze_decay(
+        n_freeze=20,
+        observe_minutes=45,
+        n_servers=80,
+        workload=WorkloadSpec(target_utilization=0.30, modulation_sigma=0.0),
+        warmup_hours=1.0,
+        seed=4,
+    )
+
+
+class TestFreezeDecay:
+    def test_power_decays_toward_idle(self, decay_result):
+        """Figure 4: frozen servers drain toward the idle floor."""
+        curve = decay_result.mean_power_normalized_to_rated
+        assert curve[0] > curve[-1]
+        # The idle floor for the default model is 0.65 + background.
+        assert curve[-1] < 0.72
+        assert curve[-1] > 0.64
+
+    def test_decay_settles_within_window(self, decay_result):
+        """Most of the decay happens in the first ~35 minutes."""
+        curve = decay_result.mean_power_normalized_to_rated
+        total_drop = curve[0] - curve[-1]
+        drop_at_35 = curve[0] - curve[35]
+        assert drop_at_35 > 0.8 * total_drop
+
+    def test_monotone_trend(self, decay_result):
+        """Decay is noisy (the paper notes this) but trends downward."""
+        curve = decay_result.mean_power_normalized_to_rated
+        smoothed = np.convolve(curve, np.ones(5) / 5, mode="valid")
+        assert np.sum(np.diff(smoothed) <= 1e-4) > 0.8 * (len(smoothed) - 1)
+
+    def test_sample_count(self, decay_result):
+        assert len(decay_result.minutes) == 46  # t=0 plus 45 minutes
+        assert decay_result.n_frozen == 20
+
+    def test_invalid_n_freeze(self):
+        with pytest.raises(ValueError):
+            run_freeze_decay(n_freeze=0, n_servers=80)
+        with pytest.raises(ValueError):
+            run_freeze_decay(n_freeze=81, n_servers=80)
+
+
+class TestFreezeEffectCalibration:
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        return run_freeze_effect_calibration(
+            hours=3.0,
+            n_servers=80,
+            workload=WorkloadSpec(target_utilization=0.30, modulation_sigma=0.0),
+            warmup_hours=0.5,
+            seed=4,
+        )
+
+    def test_positive_slope_fitted(self, calibration):
+        assert calibration.k_r > 0
+
+    def test_samples_collected(self, calibration):
+        # 3 hours, one probe per 5-minute cycle (1 apply + 1 measure + 3 recover).
+        assert len(calibration.samples) >= 30
+        assert all(0.0 <= u <= 0.6 for u, _ in calibration.samples)
+
+    def test_larger_u_larger_effect(self, calibration):
+        """The median effect at high u exceeds the median at u = 0."""
+        small = [e for u, e in calibration.samples if u <= 0.1]
+        large = [e for u, e in calibration.samples if u >= 0.4]
+        assert np.median(large) > np.median(small)
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            run_freeze_effect_calibration(hours=0.0)

@@ -1,0 +1,105 @@
+"""Tests validating the analytic capacity model against simulation."""
+
+import pytest
+
+from repro.analysis.model import CapacityModel
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CapacityModel()
+
+
+class TestAlgebra:
+    def test_idle_power(self, model):
+        assert model.predicted_power(0.0) == pytest.approx(
+            0.65 + 0.35 * 0.05
+        )
+
+    def test_power_inverse_round_trip(self, model):
+        for utilization in (0.05, 0.2, 0.4):
+            for r_o in (0.0, 0.17, 0.25):
+                p = model.predicted_power(utilization, r_o)
+                assert model.utilization_for_power(p, r_o) == pytest.approx(
+                    utilization
+                )
+
+    def test_over_provision_scales_linearly(self, model):
+        base = model.predicted_power(0.2, 0.0)
+        assert model.predicted_power(0.2, 0.25) == pytest.approx(1.25 * base)
+
+    def test_max_safe_utilization_decreases_with_r_o(self, model):
+        utils = [model.max_safe_utilization(r) for r in (0.0, 0.13, 0.25)]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_max_safe_over_provision_inverse(self, model):
+        utilization = 0.2
+        r_o = model.max_safe_over_provision(utilization)
+        assert model.predicted_power(utilization, r_o) == pytest.approx(0.975)
+
+    def test_too_hot_for_any_over_provision(self, model):
+        hot = model.utilization_for_power(0.99)
+        with pytest.raises(ValueError):
+            model.max_safe_over_provision(hot + 0.05)
+
+    def test_predicted_gain_regimes(self, model):
+        cool = model.predicted_gain(0.10, 0.17)
+        assert cool == pytest.approx(0.17)
+        # At util 0.45 the budget binds: only 1/P(u,0) - 1 = 21.2% of extra
+        # servers are usable, below the requested 25%.
+        hot = model.predicted_gain(0.45, 0.25)
+        assert hot == pytest.approx(1.0 / model.predicted_power(0.45, 0.0) - 1.0)
+        assert hot < 0.25
+
+    @pytest.mark.parametrize("utilization", [-0.1, 1.1])
+    def test_validation(self, model, utilization):
+        with pytest.raises(ValueError):
+            model.predicted_power(utilization)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("target", [0.10, 0.20, 0.30])
+    def test_mean_power_prediction(self, model, target):
+        """The analytic mean matches a 3h simulation within ~2%."""
+        config = ExperimentConfig(
+            n_servers=80,
+            duration_hours=3.0,
+            warmup_hours=1.0,
+            over_provision_ratio=0.25,
+            ampere_enabled=False,
+            workload=WorkloadSpec(
+                target_utilization=target,
+                diurnal_amplitude=0.0,
+                modulation_sigma=0.0,
+            ),
+            seed=8,
+        )
+        result = ControlledExperiment(config).run()
+        predicted = model.predicted_power(target, 0.25)
+        measured = result.control.summary.p_mean
+        assert measured == pytest.approx(predicted, rel=0.02)
+
+    def test_safe_utilization_boundary_matches_controller(self, model):
+        """Just under the analytic boundary the controller stays idle;
+        comfortably above it the controller works."""
+        boundary = model.max_safe_utilization(0.25)
+
+        def run(target):
+            return ControlledExperiment(
+                ExperimentConfig(
+                    n_servers=400, duration_hours=2.0, warmup_hours=1.0,
+                    over_provision_ratio=0.25,
+                    workload=WorkloadSpec(
+                        target_utilization=target,
+                        diurnal_amplitude=0.0, modulation_sigma=0.0,
+                    ),
+                    seed=9,
+                )
+            ).run()
+
+        below = run(boundary - 0.08)
+        above = run(min(1.0, boundary + 0.06))
+        assert below.experiment.summary.u_mean < 0.01
+        assert above.experiment.summary.u_mean > 0.05

@@ -1,0 +1,148 @@
+"""Tests for the RAPL-like reactive power-capping engine."""
+
+import pytest
+
+from repro.cluster.capping import CappingEngine
+from repro.cluster.group import ServerGroup
+from repro.sim.engine import Engine
+from repro.workload.job import Job
+from tests.conftest import make_server
+
+
+def loaded_group(n=4, cores_used=16):
+    """A group of fully loaded servers."""
+    servers = []
+    for i in range(n):
+        server = make_server(i)
+        server.add_task(Job(i, 1e6, cores=cores_used, memory_gb=1.0))
+        servers.append(server)
+    return ServerGroup("g", servers)
+
+
+class TestCapping:
+    def test_caps_when_over_budget(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        assert group.power_watts() <= group.power_budget_watts
+        assert capper.stats.cap_actions > 0
+        assert capper.stats.over_budget_ticks == 1
+        assert any(s.is_capped for s in group.servers)
+
+    def test_no_action_under_budget(self, engine):
+        group = loaded_group()
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        assert capper.stats.cap_actions == 0
+        assert not any(s.is_capped for s in group.servers)
+
+    def test_restores_when_power_drops(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        # Demand disappears: jobs finish.
+        for server in group.servers:
+            for job in list(server.tasks.values()):
+                server.remove_task(job)
+        for _ in range(20):
+            capper.tick()
+        assert not any(s.is_capped for s in group.servers)
+        assert capper.stats.uncap_actions > 0
+
+    def test_restore_respects_headroom(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        # Demand unchanged: restoring would overshoot, so caps must stay.
+        capped_before = sum(s.is_capped for s in group.servers)
+        capper.tick()
+        assert sum(s.is_capped for s in group.servers) >= capped_before - 1
+        assert group.power_watts() <= group.power_budget_watts
+
+    def test_disabled_engine_only_observes(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.5
+        capper = CappingEngine(group, engine, enabled=False)
+        capper.tick()
+        assert capper.stats.over_budget_ticks == 1
+        assert capper.stats.cap_actions == 0
+        assert not any(s.is_capped for s in group.servers)
+
+    def test_capped_seconds_accounting(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine, interval=2.0)
+        capper.tick()  # caps
+        capper.tick()  # accounts capped time for capped servers
+        assert capper.stats.capped_server_seconds > 0
+        assert capper.stats.per_server_capped_seconds
+
+    def test_periodic_start(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine, interval=1.0)
+        capper.start(until=5.5)
+        engine.run(until=10.0)
+        assert capper.stats.ticks == 5
+        assert group.power_watts() <= group.power_budget_watts
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"interval": 0.0}, {"restore_headroom": 0.0}, {"restore_headroom": 1.5}]
+    )
+    def test_invalid_args(self, engine, kwargs):
+        group = loaded_group()
+        with pytest.raises(ValueError):
+            CappingEngine(group, engine, **kwargs)
+
+    def test_fraction_time_over_budget(self, engine):
+        group = loaded_group()
+        capper = CappingEngine(group, engine, enabled=False)
+        group.power_budget_watts = group.power_watts() * 0.5
+        capper.tick()
+        group.power_budget_watts = group.power_watts() * 2.0
+        capper.tick()
+        assert capper.stats.fraction_time_over_budget() == pytest.approx(0.5)
+
+    def test_saturates_at_frequency_floor(self, engine):
+        group = loaded_group(n=1)
+        group.power_budget_watts = 1.0  # impossible budget
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        assert group.servers[0].frequency == 0.5  # DVFS floor
+
+
+class TestStrategies:
+    def test_hottest_first_concentrates_damage(self, engine):
+        group = loaded_group(n=8)
+        group.power_budget_watts = group.power_watts() * 0.97
+        capper = CappingEngine(group, engine, strategy="hottest-first")
+        capper.tick()
+        assert group.power_watts() <= group.power_budget_watts
+        capped = [s for s in group.servers if s.is_capped]
+        assert 1 <= len(capped) <= 3  # a few servers take the hit
+
+    def test_spread_shares_damage(self, engine):
+        group = loaded_group(n=8)
+        group.power_budget_watts = group.power_watts() * 0.90
+        capper = CappingEngine(group, engine, strategy="spread")
+        capper.tick()
+        assert group.power_watts() <= group.power_budget_watts
+        capped = [s for s in group.servers if s.is_capped]
+        assert len(capped) >= 6  # nearly everyone slowed a little
+        # No server pushed deeper than one step below the rest.
+        frequencies = {s.frequency for s in group.servers}
+        assert max(frequencies) - min(frequencies) <= 0.1 + 1e-9
+
+    def test_spread_saturates_safely(self, engine):
+        group = loaded_group(n=2)
+        group.power_budget_watts = 1.0
+        capper = CappingEngine(group, engine, strategy="spread")
+        capper.tick()  # must terminate at the floor
+        assert all(s.frequency == 0.5 for s in group.servers)
+
+    def test_unknown_strategy_rejected(self, engine):
+        with pytest.raises(ValueError, match="strategy"):
+            CappingEngine(loaded_group(), engine, strategy="coin-flip")

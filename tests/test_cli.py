@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.command == "experiment"
+        assert args.workload == "heavy"
+        assert args.ro == 0.25
+        assert not args.no_ampere
+
+    def test_experiment_flags(self):
+        args = build_parser().parse_args(
+            [
+                "experiment", "--workload", "light", "--hours", "2",
+                "--ro", "0.17", "--no-ampere", "--capping",
+                "--scale-experiment-only", "--seed", "7", "--servers", "80",
+            ]
+        )
+        assert args.workload == "light"
+        assert args.hours == 2.0
+        assert args.ro == 0.17
+        assert args.no_ampere and args.capping and args.scale_experiment_only
+        assert args.servers == 80
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--workload", "insane"])
+
+    def test_sweep_ratios(self):
+        args = build_parser().parse_args(["sweep", "--ratios", "0.1", "0.2"])
+        assert args.ratios == [0.1, 0.2]
+
+
+class TestExecution:
+    def test_experiment_command_runs(self, capsys):
+        code = main(
+            [
+                "experiment", "--servers", "80", "--hours", "0.5",
+                "--workload", "typical", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out
+        assert "G_TPW" in out
+
+    def test_sweep_command_runs(self, capsys):
+        code = main(
+            [
+                "sweep", "--servers", "80", "--hours", "0.5",
+                "--ratios", "0.17", "--workload", "light",
+            ]
+        )
+        assert code == 0
+        assert "r_O" in capsys.readouterr().out
+
+    def test_trace_command_runs(self, capsys):
+        code = main(["trace", "--rows", "2", "--days", "0.05"])
+        assert code == 0
+        assert "datacenter" in capsys.readouterr().out
+
+    def test_advise_command_runs(self, capsys):
+        code = main(
+            [
+                "advise", "--servers", "80", "--hours", "2.0",
+                "--workload", "typical", "--ratios", "0.17", "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended over-provision ratio" in out
+
+    def test_campaign_command_runs(self, capsys, tmp_path):
+        csv_path = tmp_path / "c.csv"
+        code = main(
+            [
+                "campaign", "--servers", "80", "--hours", "0.3",
+                "--ratios", "0.17", "--seeds", "3", "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst-case-optimal" in out
+        assert csv_path.exists()

@@ -1,0 +1,113 @@
+"""Tests for the E_t demand estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand import (
+    ConstantDemandEstimator,
+    EwmaDemandEstimator,
+    PowerDemandEstimator,
+)
+
+
+class TestConstant:
+    def test_returns_fixed_value(self):
+        estimator = ConstantDemandEstimator(0.03)
+        assert estimator.estimate(0.0) == 0.03
+        assert estimator.estimate(1e6) == 0.03
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantDemandEstimator(-0.1)
+
+
+class TestPowerDemandEstimator:
+    def test_default_before_history(self):
+        estimator = PowerDemandEstimator(default_e_t=0.025)
+        assert estimator.estimate(0.0) == 0.025
+
+    def test_hour_of_day_bucketing(self):
+        assert PowerDemandEstimator.hour_of_day(0.0) == 0
+        assert PowerDemandEstimator.hour_of_day(3599.0) == 0
+        assert PowerDemandEstimator.hour_of_day(3600.0) == 1
+        assert PowerDemandEstimator.hour_of_day(86400.0 + 7200.0) == 2  # wraps daily
+
+    def test_estimates_percentile_of_increases(self, rng):
+        estimator = PowerDemandEstimator(percentile=99.5, min_e_t=0.0)
+        # Hour 0: differences ~ N(0, 0.01).
+        increases = rng.normal(0.0, 0.01, size=2000)
+        for inc in increases:
+            estimator.observe(100.0, float(inc))
+        estimate = estimator.estimate(200.0)
+        expected = float(np.percentile(increases, 99.5))
+        assert estimate == pytest.approx(expected, rel=1e-6)
+
+    def test_hours_are_independent(self):
+        estimator = PowerDemandEstimator(min_e_t=0.0, default_e_t=0.5)
+        for _ in range(100):
+            estimator.observe(0.0, 0.01)  # hour 0
+        assert estimator.estimate(0.0) == pytest.approx(0.01)
+        assert estimator.estimate(3600.0) == 0.5  # hour 1 has no data
+
+    def test_ingest_series_computes_differences(self):
+        estimator = PowerDemandEstimator(min_e_t=0.0)
+        times = np.arange(0, 60 * 60, 60.0)  # one hour of minutes
+        values = np.linspace(0.8, 0.9, len(times))
+        estimator.ingest_series(times, values)
+        assert estimator.sample_count(0) == len(times) - 1
+
+    def test_ingest_mismatched_shapes_raises(self):
+        estimator = PowerDemandEstimator()
+        with pytest.raises(ValueError):
+            estimator.ingest_series([0.0, 60.0], [1.0])
+
+    def test_min_e_t_floor(self):
+        estimator = PowerDemandEstimator(min_e_t=0.02)
+        for _ in range(100):
+            estimator.observe(0.0, -0.5)  # power always dropping
+        assert estimator.estimate(0.0) == 0.02
+
+    def test_cache_invalidation_on_new_data(self):
+        estimator = PowerDemandEstimator(min_e_t=0.0)
+        for _ in range(50):
+            estimator.observe(0.0, 0.01)
+        first = estimator.estimate(0.0)
+        for _ in range(200):
+            estimator.observe(0.0, 0.05)
+        assert estimator.estimate(0.0) > first
+
+    @pytest.mark.parametrize("percentile", [0.0, 101.0])
+    def test_invalid_percentile(self, percentile):
+        with pytest.raises(ValueError):
+            PowerDemandEstimator(percentile=percentile)
+
+
+class TestEwma:
+    def test_default_before_observations(self):
+        estimator = EwmaDemandEstimator(default_e_t=0.03)
+        assert estimator.estimate(0.0) == 0.03
+
+    def test_tracks_mean_plus_margin(self):
+        estimator = EwmaDemandEstimator(alpha=0.5, z=0.0)
+        for _ in range(100):
+            estimator.observe(0.0, 0.01)
+        assert estimator.estimate(0.0) == pytest.approx(0.01, rel=1e-3)
+
+    def test_variance_margin_grows_with_noise(self, rng):
+        calm = EwmaDemandEstimator(alpha=0.1, z=3.0)
+        noisy = EwmaDemandEstimator(alpha=0.1, z=3.0)
+        for _ in range(500):
+            calm.observe(0.0, 0.01)
+            noisy.observe(0.0, 0.01 + float(rng.normal(0, 0.02)))
+        assert noisy.estimate(0.0) > calm.estimate(0.0)
+
+    def test_never_negative(self):
+        estimator = EwmaDemandEstimator(alpha=0.5, z=0.0)
+        for _ in range(50):
+            estimator.observe(0.0, -0.1)
+        assert estimator.estimate(0.0) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [{"alpha": 0.0}, {"alpha": 1.5}, {"z": -1.0}])
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ValueError):
+            EwmaDemandEstimator(**kwargs)

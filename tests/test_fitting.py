@@ -1,0 +1,106 @@
+"""Tests for workload model fitting from traces."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    JobDurationDistribution,
+    ResourceDemandDistribution,
+)
+from repro.workload.fitting import (
+    fit_demand_distribution,
+    fit_duration_distribution,
+    fit_workload,
+)
+from repro.workload.replay import JobTraceRecord
+
+
+class TestAnalyticMean:
+    def test_matches_monte_carlo(self, rng):
+        dist = JobDurationDistribution()
+        mc = dist.mean_seconds(rng, n=400_000)
+        assert dist.mean_analytic() == pytest.approx(mc, rel=0.01)
+
+    def test_unclipped_limit(self):
+        """With the clip far out, the mean approaches the raw lognormal."""
+        dist = JobDurationDistribution(max_seconds=1e9)
+        raw = np.exp(dist.log_mu_minutes + dist.log_sigma**2 / 2) * 60.0
+        assert dist.mean_analytic() == pytest.approx(raw, rel=1e-6)
+
+
+class TestDurationFit:
+    def test_recovers_parameters(self, rng):
+        truth = JobDurationDistribution()
+        samples = truth.sample(rng, 50_000)
+        fitted = fit_duration_distribution(samples)
+        assert fitted.log_mu_minutes == pytest.approx(truth.log_mu_minutes, abs=0.08)
+        assert fitted.log_sigma == pytest.approx(truth.log_sigma, abs=0.08)
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ValueError):
+            fit_duration_distribution([100.0] * 10)
+
+    def test_all_clipped_rejected(self):
+        with pytest.raises(ValueError, match="interior"):
+            fit_duration_distribution([3000.0] * 100)
+
+
+class TestDemandFit:
+    def test_recovers_mix(self, rng):
+        truth = ResourceDemandDistribution()
+        samples = [truth.sample(rng) for _ in range(20_000)]
+        cores = [c for c, _ in samples]
+        memory = [m for _, m in samples]
+        fitted = fit_demand_distribution(cores, memory)
+        assert fitted.core_choices == truth.core_choices
+        for w_fit, w_true in zip(fitted.core_weights, truth.core_weights):
+            assert w_fit == pytest.approx(w_true, abs=0.02)
+        assert fitted.memory_per_core_gb == pytest.approx(truth.memory_per_core_gb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_demand_distribution([], [])
+        with pytest.raises(ValueError):
+            fit_demand_distribution([1.0], [1.0, 2.0])
+
+
+class TestWorkloadFit:
+    def make_records(self, rng, n=5000, rate=2.0):
+        truth_d = JobDurationDistribution()
+        truth_r = ResourceDemandDistribution()
+        t = 0.0
+        records = []
+        for i in range(n):
+            t += rng.exponential(1.0 / rate)
+            cores, memory = truth_r.sample(rng)
+            records.append(
+                JobTraceRecord(
+                    arrival_time=t,
+                    job_id=i,
+                    work_seconds=truth_d.sample_one(rng),
+                    cores=cores,
+                    memory_gb=memory,
+                )
+            )
+        return records
+
+    def test_full_fit(self, rng):
+        records = self.make_records(rng)
+        fit = fit_workload(records)
+        assert fit.n_jobs == len(records)
+        assert fit.arrival_rate_per_second == pytest.approx(2.0, rel=0.05)
+        assert fit.duration.mean_analytic() == pytest.approx(540.0, rel=0.15)
+        assert fit.offered_core_seconds_per_second() == pytest.approx(
+            2.0 * 1.8 * 540.0, rel=0.2
+        )
+
+    def test_too_few_records(self, rng):
+        with pytest.raises(ValueError):
+            fit_workload(self.make_records(rng, n=10))
+
+    def test_zero_span_rejected(self):
+        records = [
+            JobTraceRecord(5.0, i, 100.0, 1.0, 2.0) for i in range(40)
+        ]
+        with pytest.raises(ValueError, match="zero time"):
+            fit_workload(records)

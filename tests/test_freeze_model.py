@@ -1,0 +1,94 @@
+"""Tests for the freeze-effect model f(u) and its fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.freeze_model import DEFAULT_K_R, FreezeEffectModel, FreezeEffectSample
+
+
+class TestModelBasics:
+    def test_default_slope(self):
+        model = FreezeEffectModel()
+        assert model.k_r == DEFAULT_K_R
+
+    def test_predict_is_linear(self):
+        model = FreezeEffectModel(k_r=0.1)
+        assert model.predict(0.0) == 0.0
+        assert model.predict(0.5) == pytest.approx(0.05)
+        assert model.predict(1.0) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("u", [-0.1, 1.1])
+    def test_predict_rejects_bad_ratio(self, u):
+        with pytest.raises(ValueError):
+            FreezeEffectModel().predict(u)
+
+    @pytest.mark.parametrize("k_r", [0.0, -1.0])
+    def test_invalid_slope(self, k_r):
+        with pytest.raises(ValueError):
+            FreezeEffectModel(k_r=k_r)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            FreezeEffectSample(u=1.5, effect=0.1)
+
+
+class TestFitting:
+    def test_recovers_known_slope(self, rng):
+        model = FreezeEffectModel(k_r=1.0)
+        true_slope = 0.08
+        u = rng.uniform(0.05, 0.6, size=500)
+        noise = rng.normal(0.0, 0.002, size=500)
+        model.add_samples(list(zip(u, true_slope * u + noise)))
+        fitted = model.fit()
+        assert fitted == pytest.approx(true_slope, rel=0.1)
+        assert model.k_r == fitted
+
+    def test_too_few_samples_keeps_previous(self):
+        model = FreezeEffectModel(k_r=0.05)
+        model.add_sample(0.5, 0.04)
+        assert model.fit(min_samples=10) == 0.05
+
+    def test_zero_u_samples_not_informative(self):
+        model = FreezeEffectModel(k_r=0.05)
+        for _ in range(50):
+            model.add_sample(0.0, 0.001)
+        assert model.fit() == 0.05
+
+    def test_negative_fit_rejected(self):
+        model = FreezeEffectModel(k_r=0.05)
+        for u in np.linspace(0.1, 0.6, 30):
+            model.add_sample(float(u), -0.01)
+        assert model.fit() == 0.05  # keeps the previous positive slope
+
+    def test_sample_count(self):
+        model = FreezeEffectModel()
+        model.add_samples([(0.1, 0.01), (0.2, 0.02)])
+        assert model.sample_count == 2
+
+
+class TestPercentiles:
+    def test_binned_percentiles_shape(self, rng):
+        model = FreezeEffectModel()
+        for u in (0.05, 0.15, 0.25):
+            for _ in range(30):
+                model.add_sample(u, 0.1 * u + rng.normal(0, 0.01))
+        summary = model.binned_percentiles(bin_width=0.1)
+        assert sorted(summary) == [0.05, 0.15, 0.25]
+        for stats in summary.values():
+            assert stats[25.0] <= stats[50.0] <= stats[75.0]
+
+    def test_medians_increase_with_u(self, rng):
+        model = FreezeEffectModel()
+        for u in np.linspace(0.05, 0.55, 6):
+            for _ in range(50):
+                model.add_sample(float(u), 0.1 * u + rng.normal(0, 0.003))
+        summary = model.binned_percentiles(bin_width=0.1)
+        medians = [summary[c][50.0] for c in sorted(summary)]
+        assert medians == sorted(medians)
+
+    def test_empty_model_gives_empty_summary(self):
+        assert FreezeEffectModel().binned_percentiles() == {}
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            FreezeEffectModel().binned_percentiles(bin_width=0.0)

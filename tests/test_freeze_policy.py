@@ -1,0 +1,89 @@
+"""Tests for Algorithm 1's freeze-set selection (plan_freeze_set)."""
+
+import pytest
+
+from repro.core.policy import plan_freeze_set
+
+
+def powers(n, base=100.0, step=10.0):
+    """Server id i draws base + i*step watts (higher id = hotter)."""
+    return {i: base + i * step for i in range(n)}
+
+
+class TestBasicSelection:
+    def test_freezes_hottest_servers(self):
+        plan = plan_freeze_set(powers(10), n_freeze=3, currently_frozen=set())
+        assert plan.new_frozen == {7, 8, 9}
+        assert plan.to_freeze == {7, 8, 9}
+        assert plan.to_unfreeze == frozenset()
+
+    def test_zero_target_unfreezes_all(self):
+        plan = plan_freeze_set(powers(5), n_freeze=0, currently_frozen={1, 2})
+        assert plan.new_frozen == frozenset()
+        assert plan.to_unfreeze == {1, 2}
+
+    def test_target_larger_than_row_clamped(self):
+        plan = plan_freeze_set(powers(4), n_freeze=10, currently_frozen=set())
+        assert plan.new_frozen == {0, 1, 2, 3}
+
+    def test_plan_sizes_consistent(self):
+        current = {0, 9}
+        plan = plan_freeze_set(powers(10), n_freeze=4, currently_frozen=current)
+        assert len(plan.new_frozen) == 4
+        assert plan.new_frozen == (current | plan.to_freeze) - plan.to_unfreeze
+
+    def test_noop_when_already_correct(self):
+        plan = plan_freeze_set(powers(10), n_freeze=2, currently_frozen={8, 9})
+        assert plan.is_noop
+        assert plan.new_frozen == {8, 9}
+
+
+class TestStability:
+    def test_frozen_server_in_band_is_kept(self):
+        """A frozen server slightly colder than the top-N is kept (r_stable)."""
+        server_powers = {0: 100.0, 1: 96.0, 2: 99.0, 3: 50.0}
+        # Top-1 is server 0; server 1 is within 0.8 * 100 and stays frozen.
+        plan = plan_freeze_set(server_powers, 1, currently_frozen={1}, r_stable=0.8)
+        assert plan.new_frozen == {1}
+        assert plan.is_noop
+
+    def test_frozen_server_below_band_is_swapped(self):
+        server_powers = {0: 100.0, 1: 70.0, 2: 99.0, 3: 50.0}
+        # 0.8 * 100 = 80 > 70: server 1 fell out of the band.
+        plan = plan_freeze_set(server_powers, 1, currently_frozen={1}, r_stable=0.8)
+        assert plan.new_frozen == {0}
+        assert plan.to_unfreeze == {1}
+        assert plan.to_freeze == {0}
+
+    def test_surplus_releases_coldest(self):
+        plan = plan_freeze_set(powers(10), n_freeze=2, currently_frozen={7, 8, 9})
+        assert plan.new_frozen == {8, 9}
+        assert plan.to_unfreeze == {7}
+
+    def test_tight_band_with_r_stable_one(self):
+        server_powers = {0: 100.0, 1: 99.9, 2: 50.0}
+        plan = plan_freeze_set(server_powers, 1, currently_frozen={1}, r_stable=1.0)
+        # Band is (>100): server 1 at 99.9 falls out, hottest takes over.
+        assert plan.new_frozen == {0}
+
+
+class TestValidation:
+    def test_negative_target_raises(self):
+        with pytest.raises(ValueError):
+            plan_freeze_set(powers(3), -1, set())
+
+    @pytest.mark.parametrize("r_stable", [0.0, 1.5])
+    def test_invalid_r_stable(self, r_stable):
+        with pytest.raises(ValueError):
+            plan_freeze_set(powers(3), 1, set(), r_stable=r_stable)
+
+    def test_frozen_without_reading_raises(self):
+        with pytest.raises(KeyError):
+            plan_freeze_set(powers(3), 1, currently_frozen={99})
+
+    def test_deterministic_on_ties(self):
+        server_powers = {i: 100.0 for i in range(6)}
+        plan_a = plan_freeze_set(server_powers, 3, set())
+        plan_b = plan_freeze_set(server_powers, 3, set())
+        assert plan_a.new_frozen == plan_b.new_frozen
+        assert plan_a.new_frozen == {0, 1, 2}  # tie-break by id

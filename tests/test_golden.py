@@ -1,0 +1,59 @@
+"""Golden regression test: a pinned scenario must stay bit-identical.
+
+The simulator promises bit-for-bit reproducibility for a fixed seed; this
+test freezes one full controlled experiment's outcome in
+``tests/golden/experiment_seed42.json``. Any behavioural change to the
+engine, scheduler, workload, monitor or controller shows up here first.
+
+If a change is *intentional*, regenerate the fixture:
+
+    python -c "import tests.test_golden as g; g.regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.serialize import result_to_dict
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "experiment_seed42.json"
+
+
+def golden_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        n_servers=80,
+        duration_hours=2.0,
+        warmup_hours=0.5,
+        over_provision_ratio=0.25,
+        workload=WorkloadSpec(target_utilization=0.33, modulation_sigma=0.05),
+        seed=42,
+    )
+
+
+def run_golden_scenario() -> dict:
+    result = ControlledExperiment(golden_config()).run()
+    return result_to_dict(result, include_series=False)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_PATH.write_text(
+        json.dumps(run_golden_scenario(), indent=2, sort_keys=True)
+    )
+
+
+def test_golden_experiment_matches_fixture():
+    expected = json.loads(GOLDEN_PATH.read_text())
+    actual = json.loads(json.dumps(run_golden_scenario(), sort_keys=True))
+    assert actual == expected
+
+
+def test_golden_fixture_is_plausible():
+    """Sanity-check the fixture itself so a corrupted regeneration cannot
+    silently pin nonsense."""
+    doc = json.loads(GOLDEN_PATH.read_text())
+    exp = doc["experiment"]["summary"]
+    ctrl = doc["control"]["summary"]
+    assert 0.5 < exp["p_mean"] < 1.2
+    assert exp["violations"] < ctrl["violations"]
+    assert 0.0 < doc["r_t"] <= 1.2

@@ -1,0 +1,49 @@
+"""Tests for the Figure 11 experiment harness (small configurations)."""
+
+import pytest
+
+from repro.sim.interactive_experiment import (
+    InteractiveExperimentConfig,
+    run_interactive_scenario,
+)
+from repro.sim.testbed import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    config = InteractiveExperimentConfig(
+        n_servers=80,
+        n_services=4,
+        duration_hours=0.5,
+        warmup_hours=0.1,
+        workload=WorkloadSpec(target_utilization=0.25, modulation_sigma=0.0),
+        max_requests_per_server=50_000,
+        seed=1,
+    )
+    return run_interactive_scenario("ampere", config)
+
+
+class TestConfig:
+    def test_too_many_services_rejected(self):
+        with pytest.raises(ValueError):
+            InteractiveExperimentConfig(n_servers=40, n_services=41)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_interactive_scenario("hybrid")
+
+
+class TestScenario:
+    def test_reports_cover_all_operations(self, tiny_result):
+        from repro.workload.interactive import REDIS_OPERATIONS
+
+        assert set(tiny_result.reports) == set(REDIS_OPERATIONS)
+        for report in tiny_result.reports.values():
+            assert report.p50 <= report.p999
+
+    def test_mode_recorded(self, tiny_result):
+        assert tiny_result.mode == "ampere"
+        assert 0.0 <= tiny_result.fraction_service_time_capped <= 1.0
+
+    def test_p999_accessor(self, tiny_result):
+        assert tiny_result.p999("GET") == tiny_result.reports["GET"].p999

@@ -1,0 +1,108 @@
+"""Tests for the batch Job model and DVFS-aware progress tracking."""
+
+import pytest
+
+from repro.workload.job import Job
+from tests.conftest import make_server
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"work_seconds": 0.0},
+            {"work_seconds": -1.0},
+            {"cores": 0.0},
+            {"memory_gb": -1.0},
+        ],
+    )
+    def test_invalid_args_raise(self, kwargs):
+        defaults = {"work_seconds": 10.0}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            Job(1, **defaults)
+
+    def test_fresh_job_state(self):
+        job = Job(1, 600.0)
+        assert not job.is_running
+        assert not job.is_finished
+        assert job.remaining_work == 600.0
+        assert job.wall_clock_duration is None
+        assert job.slowdown is None
+
+
+class TestProgress:
+    def test_begin_marks_running(self):
+        job = Job(1, 600.0)
+        server = make_server()
+        job.begin(server, 100.0)
+        assert job.is_running
+        assert job.start_time == 100.0
+
+    def test_double_begin_raises(self):
+        job = Job(1, 600.0)
+        server = make_server()
+        job.begin(server, 0.0)
+        with pytest.raises(RuntimeError, match="already running"):
+            job.begin(server, 1.0)
+
+    def test_advance_at_full_speed(self):
+        job = Job(1, 600.0)
+        job.begin(make_server(), 0.0)
+        job.advance(100.0, speed=1.0)
+        assert job.remaining_work == pytest.approx(500.0)
+
+    def test_advance_at_half_speed(self):
+        job = Job(1, 600.0)
+        job.begin(make_server(), 0.0)
+        job.advance(100.0, speed=0.5)
+        assert job.remaining_work == pytest.approx(550.0)
+
+    def test_advance_clamps_at_zero(self):
+        job = Job(1, 10.0)
+        job.begin(make_server(), 0.0)
+        job.advance(100.0, speed=1.0)
+        assert job.remaining_work == 0.0
+
+    def test_advance_before_begin_raises(self):
+        job = Job(1, 10.0)
+        with pytest.raises(RuntimeError, match="not started"):
+            job.advance(5.0, 1.0)
+
+    def test_advance_backwards_raises(self):
+        job = Job(1, 10.0)
+        job.begin(make_server(), 10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            job.advance(5.0, 1.0)
+
+    def test_eta(self):
+        job = Job(1, 600.0)
+        job.begin(make_server(), 0.0)
+        assert job.eta(0.0, 1.0) == pytest.approx(600.0)
+        assert job.eta(0.0, 0.5) == pytest.approx(1200.0)
+        job.advance(300.0, 1.0)
+        assert job.eta(300.0, 1.0) == pytest.approx(600.0)
+
+    def test_eta_requires_positive_speed(self):
+        job = Job(1, 600.0)
+        with pytest.raises(ValueError):
+            job.eta(0.0, 0.0)
+
+    def test_mixed_speed_duration_and_slowdown(self):
+        """A job slowed to half speed for part of its life takes longer."""
+        job = Job(1, 600.0)
+        job.begin(make_server(), 0.0)
+        job.advance(300.0, 1.0)   # 300 s at full speed: 300 work left
+        job.advance(900.0, 0.5)   # 600 s at half speed: 300 work done
+        assert job.remaining_work == pytest.approx(0.0)
+        job.complete(900.0)
+        assert job.wall_clock_duration == pytest.approx(900.0)
+        assert job.slowdown == pytest.approx(1.5)
+
+    def test_complete_marks_finished(self):
+        job = Job(1, 100.0)
+        job.begin(make_server(), 0.0)
+        job.complete(100.0)
+        assert job.is_finished
+        assert not job.is_running
+        assert job.remaining_work == 0.0

@@ -1,0 +1,95 @@
+"""Tests for TPW / G_TPW metrics (Eqs. 17-18) and run summaries."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    GroupRunSummary,
+    count_violations,
+    gain_in_tpw,
+    summarize_power_series,
+    throughput_per_watt,
+    throughput_ratio,
+)
+
+
+class TestViolations:
+    def test_counts_strictly_above_budget(self):
+        assert count_violations([0.9, 1.0, 1.01, 1.5], budget=1.0) == 2
+
+    def test_scaled_budget(self):
+        assert count_violations([90.0, 110.0], budget=100.0) == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            count_violations([1.0], budget=0.0)
+
+
+class TestTpw:
+    def test_eq17(self):
+        # 1000 jobs over 100 W * 10 s.
+        assert throughput_per_watt(1000, 100.0, 10.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "args", [(-1, 100.0, 10.0), (10, 0.0, 10.0), (10, 100.0, 0.0)]
+    )
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            throughput_per_watt(*args)
+
+
+class TestGainInTpw:
+    def test_paper_example_25_percent(self):
+        """Section 4.4: r_O = 0.25, r_T = 0.9 -> G_TPW = 0.125."""
+        assert gain_in_tpw(0.9, 0.25) == pytest.approx(0.125)
+
+    def test_paper_example_17_percent(self):
+        """r_O = 0.17 with r_T = 1.0 -> G_TPW = 0.17 (the headline)."""
+        assert gain_in_tpw(1.0, 0.17) == pytest.approx(0.17)
+
+    def test_break_even(self):
+        """r_T = 0.8 at r_O = 0.25 -> gain == 0 (Figure 12's boxed case)."""
+        assert gain_in_tpw(0.8, 0.25) == pytest.approx(0.0)
+
+    def test_upper_bound_is_r_o(self):
+        assert gain_in_tpw(1.0, 0.13) == pytest.approx(0.13)
+
+    def test_throughput_ratio(self):
+        assert throughput_ratio(90, 100) == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            throughput_ratio(10, 0)
+        with pytest.raises(ValueError):
+            throughput_ratio(-1, 10)
+
+    @pytest.mark.parametrize("args", [(-0.1, 0.2), (0.9, -0.2)])
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            gain_in_tpw(*args)
+
+
+class TestSummaries:
+    def test_summarize_power_series(self):
+        summary = summarize_power_series(
+            "g", [0.9, 1.02, 0.95], u_history=[0.0, 0.3, 0.1], throughput=42
+        )
+        assert summary.name == "g"
+        assert summary.p_mean == pytest.approx((0.9 + 1.02 + 0.95) / 3)
+        assert summary.p_max == pytest.approx(1.02)
+        assert summary.u_mean == pytest.approx(0.4 / 3)
+        assert summary.u_max == pytest.approx(0.3)
+        assert summary.violations == 1
+        assert summary.throughput == 42
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            summarize_power_series("g", [])
+
+    def test_no_u_history_defaults_to_zero(self):
+        summary = summarize_power_series("g", [0.9])
+        assert summary.u_mean == 0.0
+        assert summary.u_max == 0.0
+
+    def test_as_row(self):
+        summary = GroupRunSummary("exp", 0.95, 1.0, 0.25, 0.5, 3, 100)
+        row = summary.as_row()
+        assert row[0] == "exp"
+        assert row[-1] == "3"

@@ -1,0 +1,102 @@
+"""Tests for the server power model and DVFS frequency steps."""
+
+import pytest
+
+from repro.cluster.power import (
+    DVFS_FREQUENCIES,
+    PowerModelParams,
+    next_higher_frequency,
+    next_lower_frequency,
+    server_power_watts,
+)
+
+
+class TestPowerModelParams:
+    def test_defaults_are_paper_like(self):
+        params = PowerModelParams()
+        assert params.rated_watts == 250.0
+        assert params.idle_watts == pytest.approx(162.5)
+        assert params.dynamic_watts == pytest.approx(87.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rated_watts": 0.0},
+            {"rated_watts": -5.0},
+            {"idle_fraction": -0.1},
+            {"idle_fraction": 1.0},
+            {"utilization_exponent": 0.0},
+            {"frequency_power_exponent": -1.0},
+        ],
+    )
+    def test_invalid_params_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerModelParams(**kwargs)
+
+
+class TestServerPower:
+    def test_idle_power_at_zero_utilization(self, power_params):
+        assert server_power_watts(power_params, 0.0) == pytest.approx(
+            power_params.idle_watts
+        )
+
+    def test_rated_power_at_full_utilization(self, power_params):
+        assert server_power_watts(power_params, 1.0) == pytest.approx(
+            power_params.rated_watts
+        )
+
+    def test_power_monotonic_in_utilization(self, power_params):
+        powers = [server_power_watts(power_params, u / 10) for u in range(11)]
+        assert powers == sorted(powers)
+
+    def test_frequency_scaling_reduces_dynamic_power_quadratically(self, power_params):
+        full = server_power_watts(power_params, 1.0, frequency=1.0)
+        half = server_power_watts(power_params, 1.0, frequency=0.5)
+        expected = power_params.idle_watts + power_params.dynamic_watts * 0.25
+        assert half == pytest.approx(expected)
+        assert half < full
+
+    def test_frequency_does_not_affect_idle_power(self, power_params):
+        assert server_power_watts(power_params, 0.0, 0.5) == pytest.approx(
+            server_power_watts(power_params, 0.0, 1.0)
+        )
+
+    @pytest.mark.parametrize("utilization", [-0.1, 1.1])
+    def test_invalid_utilization_raises(self, power_params, utilization):
+        with pytest.raises(ValueError, match="utilization"):
+            server_power_watts(power_params, utilization)
+
+    @pytest.mark.parametrize("frequency", [0.0, -0.5, 1.5])
+    def test_invalid_frequency_raises(self, power_params, frequency):
+        with pytest.raises(ValueError, match="frequency"):
+            server_power_watts(power_params, 0.5, frequency)
+
+    def test_sublinear_exponent(self):
+        params = PowerModelParams(utilization_exponent=0.5)
+        assert server_power_watts(params, 0.25) == pytest.approx(
+            params.idle_watts + params.dynamic_watts * 0.5
+        )
+
+
+class TestDvfsSteps:
+    def test_frequencies_descend_from_one(self):
+        assert DVFS_FREQUENCIES[0] == 1.0
+        assert list(DVFS_FREQUENCIES) == sorted(DVFS_FREQUENCIES, reverse=True)
+
+    def test_next_lower_steps_down(self):
+        assert next_lower_frequency(1.0) == 0.9
+        assert next_lower_frequency(0.9) == 0.8
+
+    def test_next_lower_saturates_at_floor(self):
+        assert next_lower_frequency(0.5) == 0.5
+
+    def test_next_higher_steps_up(self):
+        assert next_higher_frequency(0.5) == 0.6
+        assert next_higher_frequency(0.9) == 1.0
+
+    def test_next_higher_saturates_at_one(self):
+        assert next_higher_frequency(1.0) == 1.0
+
+    def test_round_trip_between_steps(self):
+        for f in DVFS_FREQUENCIES[1:]:
+            assert next_lower_frequency(next_higher_frequency(f)) == f

@@ -1,0 +1,43 @@
+"""Tests for the plain-text table/CDF rendering."""
+
+import pytest
+
+from repro.analysis.report import format_percent, render_cdf, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # All rows align to the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_wrong_column_count_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderCdf:
+    def test_selected_points(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        probs = [0.25, 0.5, 0.75, 1.0]
+        out = render_cdf("metric", values, probs, points=(0.5, 1.0))
+        assert "P 50.0 <= 2" in out
+        assert "P100.0 <= 4" in out
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            render_cdf("m", [1.0], [0.5, 1.0])
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.177) == "17.7%"
+        assert format_percent(0.5, digits=0) == "50%"

@@ -1,0 +1,145 @@
+"""Tests for the Server class: resources, tasks, freeze, DVFS."""
+
+import pytest
+
+from repro.cluster.server import Server
+from repro.workload.job import Job
+from tests.conftest import make_server
+
+
+def make_job(job_id=1, cores=2.0, memory_gb=4.0, work=600.0):
+    return Job(job_id, work_seconds=work, cores=cores, memory_gb=memory_gb)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"memory_gb": 0},
+            {"background_utilization": 1.0},
+            {"background_utilization": -0.1},
+        ],
+    )
+    def test_invalid_args_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            Server(0, **kwargs)
+
+
+class TestResources:
+    def test_fresh_server_is_empty(self, server):
+        assert server.free_cores == 16
+        assert server.free_memory_gb == 64.0
+        assert not server.tasks
+
+    def test_add_task_claims_resources(self, server):
+        server.add_task(make_job(cores=4, memory_gb=8))
+        assert server.free_cores == 12
+        assert server.free_memory_gb == 56.0
+        assert server.jobs_started == 1
+
+    def test_remove_task_releases_resources(self, server):
+        job = make_job(cores=4, memory_gb=8)
+        server.add_task(job)
+        server.remove_task(job)
+        assert server.free_cores == 16
+        assert server.free_memory_gb == 64.0
+        assert server.jobs_completed == 1
+
+    def test_add_duplicate_job_raises(self, server):
+        job = make_job()
+        server.add_task(job)
+        with pytest.raises(ValueError, match="already running"):
+            server.add_task(job)
+
+    def test_add_oversized_job_raises(self, server):
+        with pytest.raises(ValueError, match="does not fit"):
+            server.add_task(make_job(cores=17))
+
+    def test_remove_unknown_job_raises(self, server):
+        with pytest.raises(KeyError):
+            server.remove_task(make_job())
+
+    def test_can_fit_respects_both_dimensions(self, server):
+        assert server.can_fit(16, 64)
+        assert not server.can_fit(17, 1)
+        assert not server.can_fit(1, 65)
+
+    def test_float_drift_clamped_to_zero(self, server):
+        jobs = [make_job(i, cores=0.1, memory_gb=0.1) for i in range(10)]
+        for job in jobs:
+            server.add_task(job)
+        for job in jobs:
+            server.remove_task(job)
+        assert server.used_cores == 0.0
+        assert server.used_memory_gb == 0.0
+
+
+class TestPower:
+    def test_utilization_includes_background(self, server):
+        assert server.utilization == pytest.approx(0.05)
+        server.add_task(make_job(cores=8))
+        assert server.utilization == pytest.approx(0.55)
+
+    def test_power_increases_with_tasks(self, server):
+        idle = server.power_watts()
+        server.add_task(make_job(cores=8))
+        assert server.power_watts() > idle
+
+    def test_power_cache_invalidated_on_removal(self, server):
+        job = make_job(cores=8)
+        server.add_task(job)
+        busy = server.power_watts()
+        server.remove_task(job)
+        assert server.power_watts() < busy
+
+    def test_power_cache_invalidated_on_frequency_change(self, server):
+        server.add_task(make_job(cores=8))
+        full = server.power_watts()
+        server.set_frequency(0.5)
+        assert server.power_watts() < full
+
+    def test_utilization_capped_at_one(self):
+        server = make_server(background_utilization=0.5)
+        server.add_task(make_job(cores=16))
+        assert server.utilization == 1.0
+
+
+class TestFreeze:
+    def test_freeze_unfreeze_idempotent(self, server):
+        server.freeze()
+        server.freeze()
+        assert server.frozen
+        server.unfreeze()
+        server.unfreeze()
+        assert not server.frozen
+
+    def test_freeze_does_not_touch_tasks_or_frequency(self, server):
+        job = make_job()
+        server.add_task(job)
+        server.freeze()
+        assert job.job_id in server.tasks
+        assert server.frequency == 1.0
+        assert server.power_watts() > server.power_params.idle_watts
+
+
+class TestFrequency:
+    def test_set_frequency_notifies_listeners(self, server):
+        calls = []
+        server.frequency_listeners.append(
+            lambda srv, old, new: calls.append((old, new))
+        )
+        server.set_frequency(0.8)
+        assert calls == [(1.0, 0.8)]
+        assert server.is_capped
+
+    def test_same_frequency_is_noop(self, server):
+        calls = []
+        server.frequency_listeners.append(lambda *a: calls.append(a))
+        server.set_frequency(1.0)
+        assert calls == []
+
+    @pytest.mark.parametrize("frequency", [0.0, 1.5, -0.1])
+    def test_invalid_frequency_raises(self, server, frequency):
+        with pytest.raises(ValueError):
+            server.set_frequency(frequency)

@@ -1,0 +1,79 @@
+"""Integration tests for multi-row trace synthesis (Figures 1, 2, 8, 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pairwise_correlations
+from repro.workload.traces import (
+    MultiRowTraceConfig,
+    run_multi_row_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_multi_row_trace(
+        MultiRowTraceConfig(
+            n_rows=3,
+            racks_per_row=1,
+            servers_per_rack=40,
+            days=0.25,
+            warmup_hours=1.0,
+            row_utilizations=(0.10, 0.20, 0.30),
+            seed=5,
+        )
+    )
+
+
+class TestSeriesRecorded:
+    def test_all_levels_present(self, trace):
+        assert len(trace.row_series()) == 3
+        assert len(trace.rack_series()) == 3
+        times, values = trace.datacenter_series()
+        assert len(times) == len(values) > 0
+
+    def test_measurement_window_respected(self, trace):
+        times, _ = trace.datacenter_series()
+        assert times.min() >= trace.measure_start
+        assert times.max() < trace.measure_end
+
+    def test_pooled_samples(self, trace):
+        racks = trace.pooled_utilization_samples("rack")
+        rows = trace.pooled_utilization_samples("row")
+        dc = trace.pooled_utilization_samples("datacenter")
+        assert len(racks) == len(rows)  # 3 racks == 3 rows here
+        assert len(dc) * 3 == len(rows)
+        with pytest.raises(ValueError):
+            trace.pooled_utilization_samples("pdu")
+
+
+class TestSpatialStructure:
+    def test_hot_rows_draw_more_power(self, trace):
+        series = trace.row_series()
+        means = {name: values.mean() for name, (_, values) in series.items()}
+        assert means["row-0"] < means["row-1"] < means["row-2"]
+
+    def test_utilization_spread_smaller_at_larger_scale(self, trace):
+        """Figure 1: aggregation narrows the utilization distribution."""
+        rack_std = np.std(trace.pooled_utilization_samples("rack"))
+        dc_std = np.std(trace.pooled_utilization_samples("datacenter"))
+        assert dc_std < rack_std
+
+    def test_cross_row_correlations_weak(self, trace):
+        """Section 2.2: row powers are weakly correlated."""
+        series = [values for _, values in trace.row_series().values()]
+        correlations = pairwise_correlations(series)
+        assert np.mean(np.abs(correlations)) < 0.6
+
+
+class TestConfigValidation:
+    def test_utilization_count_mismatch(self):
+        config = MultiRowTraceConfig(n_rows=3, row_utilizations=(0.1, 0.2))
+        with pytest.raises(ValueError):
+            config.utilizations()
+
+    def test_default_utilizations_cycle(self):
+        config = MultiRowTraceConfig(n_rows=7)
+        utils = config.utilizations()
+        assert len(utils) == 7
+        assert utils[5] == utils[0]  # cycles through the default spread
