@@ -1,0 +1,87 @@
+"""Serial vs parallel campaign wall-clock on a 12-cell grid.
+
+The parallel runner exists to make Table-3-style sweeps scale with the
+hardware; this benchmark records the measured speedup of
+``Campaign.run_parallel(max_workers=4)`` over the serial reference on a
+12-cell campaign (4 ratios x 3 workloads), and verifies the two paths
+still return byte-identical rows while we are at it.
+
+On a multi-core machine (>= 2 usable CPUs) the speedup must reach 1.5x;
+on a single-core container process-pool parallelism cannot beat serial
+execution, so the timing is still printed/recorded but the threshold is
+not enforced.
+
+Run with ``-s`` to see the timing table.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.serialize import campaign_rows_to_dicts
+from repro.sim.campaign import Campaign
+from repro.sim.testbed import WorkloadSpec
+
+SPEEDUP_TARGET = 1.5
+WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def twelve_cell_campaign() -> Campaign:
+    return Campaign(
+        ratios=(0.13, 0.17, 0.21, 0.25),
+        workloads={
+            "light": WorkloadSpec(target_utilization=0.08, modulation_sigma=0.03),
+            "typical": WorkloadSpec(target_utilization=0.17, modulation_sigma=0.04),
+            "heavy": WorkloadSpec(target_utilization=0.30, modulation_sigma=0.04),
+        },
+        seeds=(7,),
+        n_servers=120,
+        duration_hours=2.0,
+        warmup_hours=0.2,
+    )
+
+
+def test_perf_parallel_campaign_speedup():
+    campaign = twelve_cell_campaign()
+    assert len(campaign) == 12
+
+    t0 = time.perf_counter()
+    serial = campaign.run()
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = twelve_cell_campaign().run_parallel(max_workers=WORKERS)
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s
+    print()
+    print("=" * 72)
+    print(f"12-cell campaign, serial vs {WORKERS} workers "
+          f"({_usable_cpus()} usable CPUs)")
+    print("=" * 72)
+    print(f"  serial   : {serial_s:8.2f} s")
+    print(f"  parallel : {parallel_s:8.2f} s")
+    print(f"  speedup  : {speedup:8.2f} x   (target >= {SPEEDUP_TARGET} x)")
+
+    # Correctness first: parallel rows are byte-identical to serial.
+    as_bytes = lambda result: json.dumps(
+        campaign_rows_to_dicts(result.rows), sort_keys=True
+    ).encode()
+    assert as_bytes(parallel) == as_bytes(serial)
+
+    if _usable_cpus() >= 2:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"parallel campaign speedup {speedup:.2f}x below "
+            f"{SPEEDUP_TARGET}x target on a {_usable_cpus()}-CPU host"
+        )
+    else:
+        # Single-CPU container: parallelism cannot win; just require the
+        # pool overhead stays sane (within 2.5x of serial).
+        assert parallel_s < serial_s * 2.5

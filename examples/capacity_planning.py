@@ -15,45 +15,61 @@ budget binds, extra servers just idle and get frozen), while a small r_O
 (0.13) is safe but leaves capacity on the table. The robust choice sits
 in between -- the paper deploys 0.17.
 
-Run time: about two minutes.
+The sweep is a Campaign (a grid of independent cells), so it fans out
+across a process pool with bit-identical results:
+
+    python examples/capacity_planning.py --workers 4
+
+Run time: about two minutes serially; scales with 1/workers on a
+multi-core machine.
 """
 
+import argparse
+
 from repro.analysis.report import format_percent, render_table
-from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.campaign import Campaign
 from repro.sim.testbed import WorkloadSpec
 
 RATIOS = (0.13, 0.17, 0.21, 0.25)
 WORKLOADS = {"typical": WorkloadSpec.typical(), "heavy": WorkloadSpec.heavy()}
 
 
-def run_cell(r_o: float, workload: WorkloadSpec) -> float:
-    config = ExperimentConfig(
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the sweep out across N worker processes "
+        "(results are identical to the serial run)",
+    )
+    args = parser.parse_args()
+
+    campaign = Campaign(
+        ratios=RATIOS,
+        workloads=WORKLOADS,
+        seeds=(7,),
         n_servers=400,
         duration_hours=8.0,
         warmup_hours=1.0,
-        over_provision_ratio=r_o,
-        scale_control_budget=False,  # Section 4.4 mode
-        workload=workload,
-        seed=7,
     )
-    return ControlledExperiment(config).run()
+    progress = lambda cell, row: print(
+        f"{cell.label():<32}: G_TPW = {row.g_tpw:.1%}", flush=True
+    )
+    if args.workers:
+        result = campaign.run_parallel(max_workers=args.workers, on_cell=progress)
+    else:
+        result = campaign.run(on_cell=progress)
 
-
-def main() -> None:
-    gains = {}
-    details = {}
-    for r_o in RATIOS:
-        for level, workload in WORKLOADS.items():
-            result = run_cell(r_o, workload)
-            gains[(r_o, level)] = result.g_tpw
-            details[(r_o, level)] = result
-            print(f"r_O = {r_o:.2f} {level:<8}: G_TPW = {result.g_tpw:.1%}")
-
+    gains = {
+        (row.cell.over_provision_ratio, row.cell.workload_name): row
+        for row in result.rows
+    }
     rows = []
     for r_o in RATIOS:
-        typical = gains[(r_o, "typical")]
-        heavy = gains[(r_o, "heavy")]
-        u_heavy = details[(r_o, "heavy")].experiment.summary.u_mean
+        typical = gains[(r_o, "typical")].g_tpw
+        heavy = gains[(r_o, "heavy")].g_tpw
+        u_heavy = gains[(r_o, "heavy")].u_mean
         rows.append(
             [
                 f"{r_o:.2f}",
@@ -70,7 +86,7 @@ def main() -> None:
             rows,
         )
     )
-    best = max(RATIOS, key=lambda r: min(gains[(r, "typical")], gains[(r, "heavy")]))
+    best = result.best_ratio("worst_case")
     print()
     print(f"Worst-case-optimal over-provisioning: r_O = {best:.2f}.")
     print(

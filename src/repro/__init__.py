@@ -32,14 +32,16 @@ from repro.core.demand import (
     PowerDemandEstimator,
 )
 from repro.core.freeze_model import DEFAULT_K_R, FreezeEffectModel
-from repro.sim.campaign import Campaign
+from repro.sim.campaign import Campaign, CampaignRunConfig, run_cell
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
+from repro.sim.parallel import run_cells_parallel
 from repro.sim.testbed import Testbed, WorkloadSpec
 
 __all__ = [
     "AmpereConfig",
     "AmpereController",
     "Campaign",
+    "CampaignRunConfig",
     "ConstantDemandEstimator",
     "ControlledExperiment",
     "DEFAULT_K_R",
@@ -51,6 +53,8 @@ __all__ = [
     "Testbed",
     "WorkloadSpec",
     "recommend_over_provision_ratio",
+    "run_cell",
+    "run_cells_parallel",
     "__version__",
 ]
 

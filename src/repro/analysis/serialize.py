@@ -4,6 +4,12 @@ A recorded :class:`~repro.sim.experiment.ExperimentResult` round-trips to
 a JSON document containing the configuration, per-group summaries and the
 measured series, so runs can be archived, diffed across code versions,
 and post-processed without re-simulating.
+
+Campaign rows get the same treatment: :func:`campaign_row_to_dict` /
+:func:`campaign_row_from_dict` define the *stable* row representation
+used at the parallel worker boundary and by the golden campaign fixture
+-- key order is fixed, floats are written verbatim, and a row (including
+its cell and workload spec) reconstructs exactly.
 """
 
 from __future__ import annotations
@@ -11,12 +17,14 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Iterable, List, Union
 
 import numpy as np
 
 from repro.analysis.metrics import GroupRunSummary
+from repro.sim.campaign import CampaignCell, CampaignResult, CampaignRow
 from repro.sim.experiment import ExperimentResult, GroupOutcome
+from repro.sim.testbed import WorkloadSpec
 
 
 def _jsonable(value: Any) -> Any:
@@ -94,10 +102,90 @@ def load_result_dict(path: Union[str, Path]) -> Dict[str, Any]:
         return json.load(handle)
 
 
+# ---------------------------------------------------------------------------
+# Campaign rows: the stable record format of the worker boundary
+# ---------------------------------------------------------------------------
+
+def campaign_cell_to_dict(cell: CampaignCell) -> Dict[str, Any]:
+    return {
+        "over_provision_ratio": cell.over_provision_ratio,
+        "workload_name": cell.workload_name,
+        "workload": _jsonable(cell.workload),
+        "seed": cell.seed,
+    }
+
+
+def campaign_cell_from_dict(doc: Dict[str, Any]) -> CampaignCell:
+    return CampaignCell(
+        over_provision_ratio=doc["over_provision_ratio"],
+        workload_name=doc["workload_name"],
+        workload=WorkloadSpec(**doc["workload"]),
+        seed=doc["seed"],
+    )
+
+
+def campaign_row_to_dict(row: CampaignRow) -> Dict[str, Any]:
+    """Stable JSON form of one campaign row, cell included.
+
+    Fixed key order and verbatim floats: serial and parallel execution
+    of the same campaign must produce byte-identical documents.
+    """
+    return {
+        "cell": campaign_cell_to_dict(row.cell),
+        "p_mean": row.p_mean,
+        "p_max": row.p_max,
+        "u_mean": row.u_mean,
+        "r_t": row.r_t,
+        "g_tpw": row.g_tpw,
+        "violations": row.violations,
+        "error": row.error,
+    }
+
+
+def campaign_row_from_dict(doc: Dict[str, Any]) -> CampaignRow:
+    return CampaignRow(
+        cell=campaign_cell_from_dict(doc["cell"]),
+        p_mean=doc["p_mean"],
+        p_max=doc["p_max"],
+        u_mean=doc["u_mean"],
+        r_t=doc["r_t"],
+        g_tpw=doc["g_tpw"],
+        violations=doc["violations"],
+        error=doc.get("error"),
+    )
+
+
+def campaign_rows_to_dicts(rows: Iterable[CampaignRow]) -> List[Dict[str, Any]]:
+    return [campaign_row_to_dict(row) for row in rows]
+
+
+def save_campaign_json(
+    result: CampaignResult, path: Union[str, Path]
+) -> None:
+    """Archive a campaign's rows (full cells, reconstructable)."""
+    with open(path, "w") as handle:
+        json.dump(campaign_rows_to_dicts(result.rows), handle, indent=2)
+
+
+def load_campaign_result(path: Union[str, Path]) -> CampaignResult:
+    """Rebuild a :class:`CampaignResult` from :func:`save_campaign_json`
+    output; unlike experiment series, rows are small enough to revive."""
+    with open(path) as handle:
+        docs = json.load(handle)
+    return CampaignResult(rows=[campaign_row_from_dict(doc) for doc in docs])
+
+
 __all__ = [
     "result_to_dict",
     "summary_to_dict",
     "outcome_to_dict",
     "save_result_json",
     "load_result_dict",
+    "campaign_cell_to_dict",
+    "campaign_cell_from_dict",
+    "campaign_row_to_dict",
+    "campaign_row_from_dict",
+    "campaign_rows_to_dicts",
+    "save_campaign_json",
+    "load_campaign_result",
 ]

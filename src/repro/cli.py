@@ -111,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--seeds", type=int, nargs="+", default=[13])
     campaign.add_argument("--csv", type=str, default=None, help="write rows to CSV")
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run cells on a process pool of N workers (results are "
+        "bit-identical to the serial run)",
+    )
+    campaign.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shorthand for --workers <cpu count>",
+    )
     return parser
 
 
@@ -256,7 +269,7 @@ def cmd_advise(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.sim.campaign import Campaign
+    from repro.sim.campaign import Campaign, CampaignCell, CampaignRow
 
     campaign = Campaign(
         ratios=tuple(args.ratios),
@@ -264,12 +277,34 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         n_servers=args.servers,
         duration_hours=args.hours,
     )
-    print(f"running {len(campaign)} cells ...")
-    result = campaign.run(
-        on_cell=lambda cell, outcome: print(
-            f"  {cell.label()}: G_TPW = {format_percent(outcome.g_tpw)}"
+    workers: Optional[int] = args.workers
+    if workers is not None and workers < 1:
+        print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    if workers is None and args.parallel:
+        import os
+
+        workers = os.cpu_count() or 1
+    total = len(campaign)
+    done = [0]
+
+    def progress(cell: CampaignCell, row: CampaignRow) -> None:
+        done[0] += 1
+        status = (
+            f"G_TPW = {format_percent(row.g_tpw)}"
+            if row.ok
+            else f"FAILED ({row.error})"
         )
-    )
+        print(f"  [{done[0]}/{total}] {cell.label()}: {status}", flush=True)
+
+    if workers is not None:
+        print(f"running {total} cells on {workers} workers ...")
+        result = campaign.run_parallel(max_workers=workers, on_cell=progress)
+    else:
+        print(f"running {total} cells ...")
+        result = campaign.run(on_cell=progress)
+    if result.failed_rows:
+        print(f"warning: {len(result.failed_rows)} cells failed; see rows below")
     rows = [
         [
             f"{row.cell.over_provision_ratio:.2f}",
@@ -284,7 +319,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     ]
     print(render_table(
         ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"], rows))
-    print(f"\nworst-case-optimal r_O: {result.best_ratio('worst_case'):.2f}")
+    try:
+        print(f"\nworst-case-optimal r_O: {result.best_ratio('worst_case'):.2f}")
+    except KeyError:
+        # Some (ratio, workload) combinations have only failed rows; a
+        # partial sweep still prints its table.
+        print("\nworst-case-optimal r_O: n/a (failed cells)")
     if args.csv:
         result.save_csv(args.csv)
         print(f"rows written to {args.csv}")

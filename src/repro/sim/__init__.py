@@ -3,4 +3,26 @@
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
 
-__all__ = ["Engine", "EventPriority"]
+#: Campaign-layer names resolved lazily: ``repro.sim.campaign`` pulls in
+#: the whole experiment stack (cluster, controller, scheduler), which
+#: itself imports ``repro.sim.engine`` -- an eager import here would be
+#: circular and would make ``import repro.sim`` heavyweight.
+_LAZY = {
+    "Campaign": "repro.sim.campaign",
+    "CampaignCell": "repro.sim.campaign",
+    "CampaignResult": "repro.sim.campaign",
+    "CampaignRow": "repro.sim.campaign",
+    "CampaignRunConfig": "repro.sim.campaign",
+    "run_cell": "repro.sim.campaign",
+    "run_cells_parallel": "repro.sim.parallel",
+}
+
+__all__ = ["Engine", "EventPriority", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

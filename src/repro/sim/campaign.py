@@ -6,6 +6,21 @@ workload". A :class:`Campaign` is the reusable version of that: a list of
 cells (over-provision ratio x workload x seed/day), executed with the
 Section 4.4 design, aggregated into rows, and exportable to CSV/JSON for
 archival.
+
+Execution comes in two flavours:
+
+- :meth:`Campaign.run` -- the serial reference implementation, one cell
+  after another in this process.
+- :meth:`Campaign.run_parallel` -- fans cells out across a process pool
+  (:mod:`repro.sim.parallel`). Because :func:`run_cell` derives *all*
+  randomness from the cell's own seed, the parallel path returns rows
+  byte-identical to the serial one regardless of worker count or
+  completion order.
+
+The unit shipped across the worker boundary is :func:`run_cell`, a pure
+module-level function of picklable inputs (:class:`CampaignCell`,
+:class:`CampaignRunConfig`) returning a picklable :class:`CampaignRow`
+-- never a live engine object.
 """
 
 from __future__ import annotations
@@ -16,10 +31,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 
-CellCallback = Callable[["CampaignCell", ExperimentResult], None]
+CellCallback = Callable[["CampaignCell", "CampaignRow"], None]
 
 
 @dataclass(frozen=True)
@@ -35,9 +50,43 @@ class CampaignCell:
         return f"r_O={self.over_provision_ratio:.2f} {self.workload_name} seed={self.seed}"
 
 
+@dataclass(frozen=True)
+class CampaignRunConfig:
+    """Per-cell experiment configuration shared by every cell of a grid.
+
+    Frozen and built only from plain values so it pickles cheaply across
+    the worker boundary.
+    """
+
+    n_servers: int = 400
+    duration_hours: float = 12.0
+    warmup_hours: float = 1.0
+
+
+#: Canonical column order of a campaign row record. ``save_csv`` writes
+#: exactly these columns even for an empty result (header-only CSV).
+CAMPAIGN_RECORD_FIELDS = (
+    "r_o",
+    "workload",
+    "seed",
+    "p_mean",
+    "p_max",
+    "u_mean",
+    "r_t",
+    "g_tpw",
+    "violations",
+    "error",
+)
+
+
 @dataclass
 class CampaignRow:
-    """Measured outcome of one cell (a row of Table 3)."""
+    """Measured outcome of one cell (a row of Table 3).
+
+    A row either carries measurements (``error is None``) or records a
+    cell that failed in a worker (metrics are NaN, ``error`` holds the
+    exception message) -- a crashed cell must not abort a 20-day sweep.
+    """
 
     cell: CampaignCell
     p_mean: float
@@ -46,6 +95,25 @@ class CampaignRow:
     r_t: float
     g_tpw: float
     violations: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @classmethod
+    def failed(cls, cell: CampaignCell, message: str) -> "CampaignRow":
+        nan = float("nan")
+        return cls(
+            cell=cell,
+            p_mean=nan,
+            p_max=nan,
+            u_mean=nan,
+            r_t=nan,
+            g_tpw=nan,
+            violations=0,
+            error=message,
+        )
 
     def as_record(self) -> Dict[str, object]:
         return {
@@ -58,7 +126,40 @@ class CampaignRow:
             "r_t": self.r_t,
             "g_tpw": self.g_tpw,
             "violations": self.violations,
+            "error": self.error,
         }
+
+
+def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
+    """Execute one campaign cell and return its Table 3 row.
+
+    Pure function of its (picklable) arguments: every source of
+    randomness in the experiment is derived from ``cell.seed``, so the
+    same cell produces a bit-identical row no matter which process --
+    or how many sibling processes -- runs it. This is the unit of work
+    shipped to pool workers by :mod:`repro.sim.parallel`; keep it free
+    of global state.
+    """
+    experiment_config = ExperimentConfig(
+        n_servers=config.n_servers,
+        duration_hours=config.duration_hours,
+        warmup_hours=config.warmup_hours,
+        over_provision_ratio=cell.over_provision_ratio,
+        scale_control_budget=False,  # Section 4.4 design
+        workload=cell.workload,
+        seed=cell.seed,
+    )
+    outcome = ControlledExperiment(experiment_config).run()
+    summary = outcome.experiment.summary
+    return CampaignRow(
+        cell=cell,
+        p_mean=summary.p_mean,
+        p_max=summary.p_max,
+        u_mean=summary.u_mean,
+        r_t=outcome.r_t,
+        g_tpw=outcome.g_tpw,
+        violations=summary.violations,
+    )
 
 
 @dataclass
@@ -69,6 +170,10 @@ class CampaignResult:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    @property
+    def failed_rows(self) -> List[CampaignRow]:
+        return [r for r in self.rows if not r.ok]
 
     def filter(
         self,
@@ -83,7 +188,7 @@ class CampaignResult:
         return out
 
     def mean_gtpw(self, r_o: float, workload: Optional[str] = None) -> float:
-        rows = self.filter(r_o=r_o, workload=workload)
+        rows = [r for r in self.filter(r_o=r_o, workload=workload) if r.ok]
         if not rows:
             raise KeyError(f"no campaign rows for r_O={r_o}, workload={workload}")
         return sum(r.g_tpw for r in rows) / len(rows)
@@ -104,11 +209,10 @@ class CampaignResult:
 
     # ------------------------------------------------------------------
     def save_csv(self, path: Union[str, Path]) -> None:
-        records = [row.as_record() for row in self.rows]
         with open(path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+            writer = csv.DictWriter(handle, fieldnames=list(CAMPAIGN_RECORD_FIELDS))
             writer.writeheader()
-            writer.writerows(records)
+            writer.writerows(row.as_record() for row in self.rows)
 
     def save_json(self, path: Union[str, Path]) -> None:
         with open(path, "w") as handle:
@@ -151,41 +255,74 @@ class Campaign:
             for name, spec in workloads.items()
             for seed in seeds
         ]
-        self.n_servers = n_servers
-        self.duration_hours = duration_hours
-        self.warmup_hours = warmup_hours
+        self.run_config = CampaignRunConfig(
+            n_servers=n_servers,
+            duration_hours=duration_hours,
+            warmup_hours=warmup_hours,
+        )
+
+    # Backwards-compatible views of the per-cell configuration.
+    @property
+    def n_servers(self) -> int:
+        return self.run_config.n_servers
+
+    @property
+    def duration_hours(self) -> float:
+        return self.run_config.duration_hours
+
+    @property
+    def warmup_hours(self) -> float:
+        return self.run_config.warmup_hours
 
     def __len__(self) -> int:
         return len(self.cells)
 
     def run(self, on_cell: Optional[CellCallback] = None) -> CampaignResult:
-        """Execute every cell; ``on_cell`` is called after each (progress)."""
+        """Execute every cell serially; ``on_cell`` is called after each.
+
+        This is the reference implementation that the parallel path is
+        tested against; a cell that raises propagates the exception.
+        """
         result = CampaignResult()
         for cell in self.cells:
-            config = ExperimentConfig(
-                n_servers=self.n_servers,
-                duration_hours=self.duration_hours,
-                warmup_hours=self.warmup_hours,
-                over_provision_ratio=cell.over_provision_ratio,
-                scale_control_budget=False,  # Section 4.4 design
-                workload=cell.workload,
-                seed=cell.seed,
-            )
-            outcome = ControlledExperiment(config).run()
-            summary = outcome.experiment.summary
-            row = CampaignRow(
-                cell=cell,
-                p_mean=summary.p_mean,
-                p_max=summary.p_max,
-                u_mean=summary.u_mean,
-                r_t=outcome.r_t,
-                g_tpw=outcome.g_tpw,
-                violations=summary.violations,
-            )
+            row = run_cell(cell, self.run_config)
             result.rows.append(row)
             if on_cell is not None:
-                on_cell(cell, outcome)
+                on_cell(cell, row)
         return result
 
+    def run_parallel(
+        self,
+        max_workers: Optional[int] = None,
+        on_cell: Optional[CellCallback] = None,
+        chunksize: int = 1,
+    ) -> CampaignResult:
+        """Execute the grid on a process pool (see :mod:`repro.sim.parallel`).
 
-__all__ = ["Campaign", "CampaignCell", "CampaignRow", "CampaignResult"]
+        Returns rows identical to :meth:`run` for any ``max_workers``;
+        ``on_cell`` fires in *completion* order (progress), while the
+        returned rows are always in cell order. A cell that raises in a
+        worker is retried once and then recorded as a failed row
+        (``row.error``) instead of aborting the sweep.
+        """
+        from repro.sim.parallel import run_cells_parallel
+
+        rows = run_cells_parallel(
+            self.cells,
+            self.run_config,
+            max_workers=max_workers,
+            on_row=on_cell,
+            chunksize=chunksize,
+        )
+        return CampaignResult(rows=rows)
+
+
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "CampaignRow",
+    "CampaignResult",
+    "CampaignRunConfig",
+    "CAMPAIGN_RECORD_FIELDS",
+    "run_cell",
+]

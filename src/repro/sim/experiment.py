@@ -20,7 +20,7 @@ Two scaling modes match the paper's two uses of the harness:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -83,7 +83,13 @@ class ExperimentConfig:
 
 @dataclass
 class GroupOutcome:
-    """Measured behaviour of one group during the measurement window."""
+    """Measured behaviour of one group during the measurement window.
+
+    Plain dataclass of scalars and numpy arrays, so it pickles and can
+    cross a process boundary; :meth:`without_series` drops the bulky
+    arrays when only the summary needs to travel (the campaign worker
+    boundary ships rows, not series).
+    """
 
     summary: GroupRunSummary
     power_times: np.ndarray
@@ -96,10 +102,27 @@ class GroupOutcome:
     mean_wait_seconds: float = 0.0
     p99_wait_seconds: float = 0.0
 
+    def without_series(self) -> "GroupOutcome":
+        """A copy with the per-sample series dropped (cheap to pickle)."""
+        return replace(
+            self,
+            power_times=np.empty(0),
+            normalized_power=np.empty(0),
+            u_times=np.empty(0),
+            u_values=np.empty(0),
+        )
+
 
 @dataclass
 class ExperimentResult:
-    """Everything the evaluation needs from one run."""
+    """Everything the evaluation needs from one run.
+
+    Both the config and the result are built purely from dataclasses,
+    scalars and numpy arrays, so they round-trip through ``pickle`` --
+    the contract the parallel campaign runner relies on. Workers should
+    still prefer :meth:`without_series` (or campaign rows) to keep the
+    inter-process payload small.
+    """
 
     config: ExperimentConfig
     experiment: GroupOutcome
@@ -113,6 +136,15 @@ class ExperimentResult:
             "experiment": self.experiment.summary.violations,
             "control": self.control.summary.violations,
         }
+
+    def without_series(self) -> "ExperimentResult":
+        """A lightweight copy for process boundaries: summaries and
+        scalar metrics survive, the per-sample series are dropped."""
+        return replace(
+            self,
+            experiment=self.experiment.without_series(),
+            control=self.control.without_series(),
+        )
 
 
 class ControlledExperiment:

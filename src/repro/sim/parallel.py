@@ -1,0 +1,177 @@
+"""Process-pool campaign execution with deterministic fan-out.
+
+The paper's Table 3 is a 20-day grid of independent experiment "days";
+:class:`~repro.sim.campaign.Campaign` reproduces the grid but the serial
+path pays for it one cell at a time. This module fans cells out across a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the result
+*indistinguishable* from the serial run:
+
+- **Determinism.** The unit of work is the pure function
+  :func:`repro.sim.campaign.run_cell`, whose only randomness is derived
+  from the cell's own seed. Workers therefore compute bit-identical rows
+  no matter how cells are distributed, and results are re-sorted into
+  cell order before aggregation, so worker count and completion order are
+  unobservable in the output.
+- **Picklable boundary.** Workers receive ``(cell, config)`` dataclasses
+  and return lightweight :class:`~repro.sim.campaign.CampaignRow`
+  records -- never live engines, monitors or numpy-heavy results.
+- **Fault isolation.** A cell that raises inside a worker is retried
+  once (transient failures: OOM kills, flaky imports) and, if it fails
+  again, recorded as a *failed row* carrying the exception message. One
+  bad day must not abort a 20-day sweep. If the pool itself breaks
+  (e.g. a worker process dies hard), the affected cells fall back to
+  in-process execution rather than losing the campaign.
+
+Every future distributed feature (sharded datacenters, multi-row
+steering sweeps) should reuse this discipline: pure picklable work
+units, lightweight row records back, deterministic re-assembly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.campaign import (
+    CampaignCell,
+    CampaignRow,
+    CampaignRunConfig,
+    run_cell,
+)
+
+#: ``runner(cell, config) -> CampaignRow``; must be a picklable
+#: module-level callable (workers import it by reference).
+CellRunner = Callable[[CampaignCell, CampaignRunConfig], CampaignRow]
+
+#: ``on_row(cell, row)`` progress hook, fired in completion order.
+RowCallback = Callable[[CampaignCell, CampaignRow], None]
+
+#: (cell index, row or None, error message or None)
+_ChunkItem = Tuple[int, Optional[CampaignRow], Optional[str]]
+
+
+def default_worker_count(n_cells: int) -> int:
+    """Pool size when the caller does not pin one: every core, but never
+    more processes than cells."""
+    return max(1, min(os.cpu_count() or 1, n_cells))
+
+
+def _execute_chunk(
+    runner: CellRunner,
+    config: CampaignRunConfig,
+    indexed_cells: Sequence[Tuple[int, CampaignCell]],
+) -> List[_ChunkItem]:
+    """Worker-side loop: run each cell, trapping per-cell exceptions.
+
+    Trapping inside the worker keeps one bad cell from poisoning its
+    chunk-mates and gives the parent a per-cell error message instead of
+    an opaque broken future.
+    """
+    out: List[_ChunkItem] = []
+    for index, cell in indexed_cells:
+        try:
+            out.append((index, runner(cell, config), None))
+        except Exception as exc:  # noqa: BLE001 - isolate arbitrary cell failures
+            out.append((index, None, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+def _chunked(
+    items: Sequence[Tuple[int, CampaignCell]], chunksize: int
+) -> List[List[Tuple[int, CampaignCell]]]:
+    return [list(items[i : i + chunksize]) for i in range(0, len(items), chunksize)]
+
+
+def run_cells_parallel(
+    cells: Sequence[CampaignCell],
+    config: CampaignRunConfig,
+    max_workers: Optional[int] = None,
+    on_row: Optional[RowCallback] = None,
+    chunksize: int = 1,
+    cell_runner: CellRunner = run_cell,
+    retries: int = 1,
+) -> List[CampaignRow]:
+    """Run every cell on a process pool; return rows in *cell order*.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to :func:`default_worker_count`.
+    on_row:
+        Progress callback fired as results arrive (completion order --
+        the only place worker scheduling is observable).
+    chunksize:
+        Cells submitted per task. 1 maximizes load balance; larger
+        values amortize submission overhead for very short cells.
+    cell_runner:
+        The work function; override only with another picklable
+        module-level function (tests use this for fault injection).
+    retries:
+        How many times a failing cell is resubmitted before being
+        recorded as a failed row.
+    """
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    cells = list(cells)
+    if not cells:
+        return []
+    workers = (
+        default_worker_count(len(cells)) if max_workers is None else int(max_workers)
+    )
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+
+    rows: Dict[int, CampaignRow] = {}
+    attempts: Dict[int, int] = {}
+    indexed = list(enumerate(cells))
+
+    def record(index: int, row: CampaignRow) -> None:
+        rows[index] = row
+        if on_row is not None:
+            on_row(cells[index], row)
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending: Dict[Future, List[Tuple[int, CampaignCell]]] = {
+            pool.submit(_execute_chunk, cell_runner, config, chunk): chunk
+            for chunk in _chunked(indexed, chunksize)
+        }
+        pool_broken = False
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = pending.pop(future)
+                try:
+                    items: List[_ChunkItem] = future.result()
+                except Exception:  # pool-level failure (crashed worker, ...)
+                    # The pool may be unusable now; run the chunk in-process
+                    # so the campaign still completes deterministically.
+                    pool_broken = True
+                    items = _execute_chunk(cell_runner, config, chunk)
+                for index, row, error in items:
+                    if error is None:
+                        record(index, row)
+                        continue
+                    attempts[index] = attempts.get(index, 0) + 1
+                    if attempts[index] <= retries and not pool_broken:
+                        retry_chunk = [(index, cells[index])]
+                        pending[
+                            pool.submit(
+                                _execute_chunk, cell_runner, config, retry_chunk
+                            )
+                        ] = retry_chunk
+                    else:
+                        record(index, CampaignRow.failed(cells[index], error))
+
+    # Completion order is nondeterministic; cell order is the contract.
+    return [rows[i] for i in range(len(cells))]
+
+
+__all__ = [
+    "CellRunner",
+    "RowCallback",
+    "default_worker_count",
+    "run_cells_parallel",
+]

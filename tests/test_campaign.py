@@ -86,3 +86,24 @@ class TestCampaign:
         result = CampaignResult()
         with pytest.raises(ValueError):
             result.best_ratio()
+
+    def test_save_csv_empty_result_writes_header_only(self, tmp_path):
+        """Regression: an empty campaign used to crash with IndexError."""
+        from repro.sim.campaign import CAMPAIGN_RECORD_FIELDS
+
+        path = tmp_path / "empty.csv"
+        CampaignResult().save_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines == [",".join(CAMPAIGN_RECORD_FIELDS)]
+
+    def test_failed_row_record(self):
+        cell = tiny_campaign().cells[0]
+        row = CampaignRow.failed(cell, "ValueError: boom")
+        assert not row.ok
+        record = row.as_record()
+        assert record["error"] == "ValueError: boom"
+        assert record["p_mean"] != record["p_mean"]  # NaN
+        healthy = CampaignResult(rows=[row])
+        assert healthy.failed_rows == [row]
+        with pytest.raises(KeyError):
+            healthy.mean_gtpw(cell.over_provision_ratio)

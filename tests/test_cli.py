@@ -39,6 +39,12 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--ratios", "0.1", "0.2"])
         assert args.ratios == [0.1, 0.2]
 
+    def test_campaign_parallel_flags(self):
+        args = build_parser().parse_args(["campaign", "--workers", "4"])
+        assert args.workers == 4 and not args.parallel
+        args = build_parser().parse_args(["campaign", "--parallel"])
+        assert args.workers is None and args.parallel
+
 
 class TestExecution:
     def test_experiment_command_runs(self, capsys):
@@ -91,3 +97,37 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "worst-case-optimal" in out
         assert csv_path.exists()
+
+    def test_campaign_parallel_matches_serial_csv(self, capsys, tmp_path):
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        base = [
+            "campaign", "--servers", "40", "--hours", "0.2",
+            "--ratios", "0.17", "--seeds", "3",
+        ]
+        assert main([*base, "--csv", str(serial_csv)]) == 0
+        assert main([*base, "--workers", "2", "--csv", str(parallel_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "on 2 workers" in out
+        assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    def test_campaign_rejects_nonpositive_workers(self, capsys):
+        code = main(
+            ["campaign", "--servers", "40", "--hours", "0.1",
+             "--ratios", "0.17", "--seeds", "3", "--workers", "0"]
+        )
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_campaign_survives_failing_cells(self, capsys):
+        # 50 servers is invalid (must be a multiple of 40): every cell
+        # fails in its worker, yet the sweep completes with failed rows.
+        code = main(
+            ["campaign", "--servers", "50", "--hours", "0.1",
+             "--ratios", "0.17", "--seeds", "3", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "cells failed" in out
+        assert "n/a (failed cells)" in out

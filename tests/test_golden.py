@@ -1,23 +1,30 @@
-"""Golden regression test: a pinned scenario must stay bit-identical.
+"""Golden regression tests: pinned scenarios must stay bit-identical.
 
 The simulator promises bit-for-bit reproducibility for a fixed seed; this
-test freezes one full controlled experiment's outcome in
-``tests/golden/experiment_seed42.json``. Any behavioural change to the
+module freezes one full controlled experiment's outcome in
+``tests/golden/experiment_seed42.json`` and a tiny campaign's rows in
+``tests/golden/campaign_small.json``. Any behavioural change to the
 engine, scheduler, workload, monitor or controller shows up here first.
+The campaign fixture is checked against BOTH the serial and the
+process-pool executor, pinning their equivalence to a fixed artifact.
 
-If a change is *intentional*, regenerate the fixture:
+If a change is *intentional*, regenerate the fixtures:
 
-    python -c "import tests.test_golden as g; g.regenerate()"
+    python -c "import tests.test_golden as g; g.regenerate(); g.regenerate_campaign()"
 """
 
 import json
 from pathlib import Path
 
-from repro.analysis.serialize import result_to_dict
+import pytest
+
+from repro.analysis.serialize import campaign_rows_to_dicts, result_to_dict
+from repro.sim.campaign import Campaign
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "experiment_seed42.json"
+GOLDEN_CAMPAIGN_PATH = Path(__file__).parent / "golden" / "campaign_small.json"
 
 
 def golden_config() -> ExperimentConfig:
@@ -57,3 +64,52 @@ def test_golden_fixture_is_plausible():
     assert 0.5 < exp["p_mean"] < 1.2
     assert exp["violations"] < ctrl["violations"]
     assert 0.0 < doc["r_t"] <= 1.2
+
+
+# ---------------------------------------------------------------------------
+# Campaign golden: serial and parallel execution pin to the same artifact
+# ---------------------------------------------------------------------------
+
+
+def golden_campaign() -> Campaign:
+    """Tiny 2-ratio x 1-workload x 1-seed grid (seconds to run)."""
+    return Campaign(
+        ratios=(0.17, 0.25),
+        workloads={
+            "typical-ish": WorkloadSpec(target_utilization=0.20, modulation_sigma=0.04)
+        },
+        seeds=(11,),
+        n_servers=40,
+        duration_hours=0.5,
+        warmup_hours=0.1,
+    )
+
+
+def regenerate_campaign() -> None:  # pragma: no cover - maintenance helper
+    rows = campaign_rows_to_dicts(golden_campaign().run().rows)
+    GOLDEN_CAMPAIGN_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True))
+
+
+def _canonical(rows) -> list:
+    return json.loads(json.dumps(campaign_rows_to_dicts(rows), sort_keys=True))
+
+
+def test_golden_campaign_serial_matches_fixture():
+    expected = json.loads(GOLDEN_CAMPAIGN_PATH.read_text())
+    assert _canonical(golden_campaign().run().rows) == expected
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_golden_campaign_parallel_matches_fixture(workers):
+    expected = json.loads(GOLDEN_CAMPAIGN_PATH.read_text())
+    result = golden_campaign().run_parallel(max_workers=workers)
+    assert _canonical(result.rows) == expected
+
+
+def test_golden_campaign_fixture_is_plausible():
+    docs = json.loads(GOLDEN_CAMPAIGN_PATH.read_text())
+    assert len(docs) == 2
+    for doc in docs:
+        assert doc["error"] is None
+        assert 0.0 < doc["r_t"] <= 1.2
+        assert doc["g_tpw"] <= doc["cell"]["over_provision_ratio"] + 0.12

@@ -167,6 +167,75 @@ def test_engine_executes_in_sorted_order(events):
     assert seen == sorted(seen, key=lambda pair: (pair[0], pair[1]))
 
 
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 100.0, allow_nan=False), st.integers(0, 3)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_engine_tie_break_is_insertion_order(events):
+    """Among events with identical (time, priority) the k-th scheduled
+    fires k-th -- the full (time, priority, insertion) contract."""
+    engine = Engine()
+    seen = []
+    priorities = [
+        EventPriority.JOB_COMPLETION,
+        EventPriority.JOB_ARRIVAL,
+        EventPriority.MONITOR_SAMPLE,
+        EventPriority.GENERIC,
+    ]
+    for order, (t, p) in enumerate(events):
+        priority = priorities[p]
+        engine.schedule(
+            t, priority, lambda t=t, pr=priority, o=order: seen.append((t, int(pr), o))
+        )
+    engine.run()
+    assert len(seen) == len(events)
+    # Sorting the observed triples by (time, priority, insertion) must be
+    # a no-op: insertion index is the final tie-breaker.
+    assert seen == sorted(seen)
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=50),
+    st.sets(st.integers(0, 49)),
+)
+def test_engine_cancelled_handles_never_fire(times, cancel_indices):
+    engine = Engine()
+    fired = []
+    handles = [
+        engine.schedule(t, EventPriority.GENERIC, lambda i=i: fired.append(i))
+        for i, t in enumerate(times)
+    ]
+    cancelled = {i for i in cancel_indices if i < len(handles)}
+    for i in cancelled:
+        handles[i].cancel()
+    engine.run()
+    assert set(fired).isdisjoint(cancelled)
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=50),
+    st.one_of(st.none(), st.floats(0.0, 120.0, allow_nan=False)),
+)
+def test_engine_now_is_monotone(times, until):
+    engine = Engine()
+    observed = []
+    for t in times:
+        engine.schedule(t, EventPriority.GENERIC, lambda: observed.append(engine.now))
+    engine.run(until=until)
+    assert observed == sorted(observed)
+    if until is None:
+        assert engine.now == max(times)
+    else:
+        # The clock lands exactly on the horizon; events at or past it
+        # stay pending.
+        assert engine.now == until
+        assert all(t < until for t in observed)
+
+
 # ---------------------------------------------------------------------------
 # Metric identities
 # ---------------------------------------------------------------------------
