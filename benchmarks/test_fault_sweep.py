@@ -1,0 +1,63 @@
+"""Robustness: violation rate vs. scheduler RPC failure probability.
+
+Not a paper figure -- the chaos-engineering companion to
+``test_robustness_failures.py``. The paper's controller assumes its two
+control RPCs always land; this sweep degrades that assumption from 0% to
+30% failure probability and measures what the hardened controller's
+retry/reconciliation machinery buys. Each failure rate is one
+:class:`~repro.sim.campaign.Campaign` (the scenario rides inside the
+run config), executed through the parallel campaign runner -- fault
+scenarios are picklable and replay identically in pool workers.
+"""
+
+from benchmarks.conftest import once, print_header
+from repro.analysis.report import render_table
+from repro.faults.scenario import FaultScenario
+from repro.sim.campaign import Campaign
+from repro.sim.testbed import WorkloadSpec
+
+RATES = (0.0, 0.05, 0.15, 0.30)
+
+
+def run_rate_campaign(rate: float):
+    """One campaign (2 seeds) at a fixed RPC failure probability."""
+    faults = FaultScenario(name=f"rpc-{rate:.2f}", rpc_failure_rate=rate, seed=1)
+    campaign = Campaign(
+        ratios=(0.25,),
+        workloads={"heavy": WorkloadSpec.heavy()},
+        seeds=(3, 7),
+        n_servers=40,
+        duration_hours=2.0,
+        warmup_hours=0.5,
+        faults=faults if rate > 0 else None,
+    )
+    return campaign.run_parallel(max_workers=2)
+
+
+def test_fault_sweep_rpc_failure_rate(benchmark):
+    results = once(
+        benchmark, lambda: {rate: run_rate_campaign(rate) for rate in RATES}
+    )
+
+    print_header("Fault sweep: violations vs. RPC failure probability "
+                 "(heavy, r_O=0.25, 2 seeds)")
+    rows = []
+    for rate, result in results.items():
+        violations = [r.violations for r in result.rows]
+        rows.append(
+            [f"{rate:.0%}", str(sum(violations)),
+             f"{sum(r.u_mean for r in result.rows) / len(result.rows):.1%}",
+             f"{sum(r.r_t for r in result.rows) / len(result.rows):.3f}"]
+        )
+    print(render_table(["rpc fail rate", "viol(exp, total)", "u_mean", "r_T"], rows))
+
+    baseline = sum(r.violations for r in results[0.0].rows)
+    for rate, result in results.items():
+        assert all(r.ok for r in result.rows), f"failed cells at rate {rate}"
+        total = sum(r.violations for r in result.rows)
+        # The acceptance bound of the chaos scenario, applied per rate:
+        # retries + next-tick reconciliation keep the controller's grip on
+        # the row even when a third of its RPCs vanish in transit.
+        assert total <= 2 * baseline + 1, (
+            f"rate {rate}: {total} violations vs baseline {baseline}"
+        )

@@ -3,10 +3,14 @@
 Exposes the main experiment harnesses without writing Python::
 
     ampere-repro experiment --workload heavy --hours 24 --ro 0.25
+    ampere-repro run --faults chaos --hours 2 --capping
     ampere-repro sweep --hours 12
     ampere-repro calibrate --hours 12
     ampere-repro interactive --hours 2
     ampere-repro trace --days 1
+
+(``run`` is an alias of ``experiment``; ``--faults`` injects one of the
+named control-plane fault scenarios from :mod:`repro.faults`.)
 
 Every command prints the same style of tables the paper reports and exits
 non-zero on invalid arguments.
@@ -19,7 +23,8 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.report import format_percent, render_table
-from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.faults.scenario import builtin_scenarios
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
 from repro.sim.testbed import WorkloadSpec
 
 WORKLOADS = {
@@ -27,6 +32,8 @@ WORKLOADS = {
     "typical": WorkloadSpec.typical,
     "heavy": WorkloadSpec.heavy,
 }
+
+SCENARIOS = builtin_scenarios()
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -44,7 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     experiment = sub.add_parser(
-        "experiment", help="run one controlled A/B experiment (Section 4.2)"
+        "experiment",
+        aliases=["run"],
+        help="run one controlled A/B experiment (Section 4.2)",
     )
     _add_common(experiment)
     experiment.add_argument("--hours", type=float, default=24.0)
@@ -62,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale-experiment-only",
         action="store_true",
         help="Section 4.4 mode: control group keeps the rated budget",
+    )
+    experiment.add_argument(
+        "--faults",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="inject a named control-plane fault scenario (repro.faults)",
     )
 
     sweep = sub.add_parser("sweep", help="G_TPW sweep over r_O (Table 3 / Section 4.4)")
@@ -124,7 +139,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shorthand for --workers <cpu count>",
     )
+    campaign.add_argument(
+        "--faults",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="apply a named fault scenario to every cell (chaos sweeps)",
+    )
     return parser
+
+
+def _print_fault_report(result: ExperimentResult) -> None:
+    """Fault-injection and controller-health summary of one run."""
+    stats = result.fault_stats
+    if stats is None:
+        return
+    print(f"\nfault injection ({stats.scenario}):")
+    print(
+        f"  blackouts={stats.blackouts_injected}  "
+        f"suppressed samples={stats.samples_suppressed}  "
+        f"rpc calls={stats.rpc_calls}  rpc failures={stats.rpc_failures}  "
+        f"crashes={stats.crashes_injected}"
+    )
+    health = result.controller_health
+    if health is not None:
+        s = health.summary()
+        print(
+            "  controller: "
+            f"degraded ticks={s['degraded_ticks']}  "
+            f"skipped ticks={s['skipped_ticks']}  "
+            f"rpc retries={s['rpc_retries']}  "
+            f"rpc giveups={s['rpc_giveups']}  "
+            f"reconciliations={s['reconciliations']} "
+            f"({s['reconciliation_diff_total']} servers)  "
+            f"recoveries={s['recoveries']}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +186,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         capping_enabled=args.capping,
         scale_control_budget=not args.scale_experiment_only,
         seed=args.seed,
+        faults=SCENARIOS[args.faults] if args.faults else None,
     )
     result = ControlledExperiment(config).run()
     print(
@@ -147,6 +196,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nr_T = {result.r_t:.3f}   G_TPW = {format_percent(result.g_tpw)}")
+    _print_fault_report(result)
     return 0
 
 
@@ -276,6 +326,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         n_servers=args.servers,
         duration_hours=args.hours,
+        faults=SCENARIOS[args.faults] if args.faults else None,
     )
     workers: Optional[int] = args.workers
     if workers is not None and workers < 1:
@@ -333,6 +384,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "experiment": cmd_experiment,
+    "run": cmd_experiment,  # alias registered on the subparser
     "sweep": cmd_sweep,
     "calibrate": cmd_calibrate,
     "interactive": cmd_interactive,

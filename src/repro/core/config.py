@@ -41,6 +41,23 @@ class AmpereConfig:
         paper's SPCP closed form; larger values solve the general PCP by
         iterated SPCP (optimal for the linear freeze model, Lemma 3.1) and
         apply only the first control.
+    max_staleness_seconds:
+        Fail-safe bound on the age of the power sample the controller is
+        willing to act on. Beyond it the controller enters *degraded
+        mode*: it conservatively holds the frozen set (re-asserting
+        intended freezes, never unfreezing on fiction) and leaves budget
+        safety to the reactive capping net until fresh data arrives. The
+        default tolerates one missed monitor sweep but not two.
+    rpc_max_attempts:
+        Bounded retry budget for one freeze/unfreeze RPC within a tick
+        (first try included). Exhausted intents are left to next-tick
+        reconciliation against the scheduler's authoritative frozen set.
+    rpc_backoff_base_seconds:
+        First retry back-off; doubles per attempt (exponential back-off).
+    rpc_deadline_seconds:
+        Total wall-clock the controller may burn on RPCs in one tick
+        (latency plus back-off). The control loop must never overrun its
+        interval chasing a dead scheduler endpoint.
     """
 
     control_interval: float = 60.0
@@ -49,6 +66,10 @@ class AmpereConfig:
     control_target: float = 1.0
     default_e_t: float = 0.025
     horizon: int = 1
+    max_staleness_seconds: float = 150.0
+    rpc_max_attempts: int = 4
+    rpc_backoff_base_seconds: float = 0.5
+    rpc_deadline_seconds: float = 15.0
 
     def __post_init__(self) -> None:
         if self.control_interval <= 0:
@@ -67,6 +88,23 @@ class AmpereConfig:
             raise ValueError(f"default_e_t must be non-negative, got {self.default_e_t}")
         if self.horizon < 1:
             raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        if self.max_staleness_seconds <= 0:
+            raise ValueError(
+                f"max_staleness_seconds must be positive, got {self.max_staleness_seconds}"
+            )
+        if self.rpc_max_attempts < 1:
+            raise ValueError(
+                f"rpc_max_attempts must be >= 1, got {self.rpc_max_attempts}"
+            )
+        if self.rpc_backoff_base_seconds < 0:
+            raise ValueError(
+                "rpc_backoff_base_seconds must be non-negative, "
+                f"got {self.rpc_backoff_base_seconds}"
+            )
+        if self.rpc_deadline_seconds <= 0:
+            raise ValueError(
+                f"rpc_deadline_seconds must be positive, got {self.rpc_deadline_seconds}"
+            )
 
 
 __all__ = ["AmpereConfig"]

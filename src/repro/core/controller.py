@@ -17,13 +17,45 @@ controller:
 The controller is stateless with respect to the frozen set -- it re-derives
 membership from the scheduler each tick, so a restarted controller resumes
 cleanly (the paper's failover property, Section 3.2).
+
+Control-plane hardening
+-----------------------
+The loop above assumes a perfect control plane. This implementation does
+not: it is hardened against the three operational hazards injected by
+:mod:`repro.faults`, and every defensive action is recorded in
+:class:`ControllerHealth`.
+
+- **Stale data (monitor blackouts).** Every row-power sample carries a
+  timestamp; when the latest sample is older than
+  ``config.max_staleness_seconds`` the controller enters *degraded mode*
+  for that row: it holds the frozen set (re-asserting intended freezes,
+  never unfreezing on fiction) and leans on the reactive capping safety
+  net until fresh data arrives. Acting on a stale reading could unfreeze
+  a row that is actually over budget.
+- **Degenerate snapshots.** A row whose every server reads 0 W / NaN
+  (mass failure, dead sensor path) produces no control action at all --
+  the tick is skipped with a logged health event rather than fitting
+  f(u) on fiction.
+- **Scheduler RPC faults.** ``freeze``/``unfreeze`` may raise
+  :class:`~repro.scheduler.base.SchedulerRpcError`. Each intent is
+  retried with exponential back-off under a bounded per-tick RPC time
+  budget; intents that still fail are *not* forgotten -- the controller
+  records its intended frozen set and reconciles intent against the
+  scheduler's authoritative ``frozen_server_ids()`` at the next tick.
+- **Controller crashes.** :meth:`AmpereController.crash` wipes all
+  in-memory per-row state (the simulated process death);
+  :meth:`AmpereController.recover` reconstructs it from the two durable
+  sources production would use: the TSDB (commanded freeze-ratio
+  history) and the scheduler's authoritative frozen set. While crashed,
+  ticks are no-ops. ``ControllerHealth`` models the *external* telemetry
+  pipeline, so its counters deliberately survive a crash.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.cluster.group import ServerGroup
 from repro.core.config import AmpereConfig
@@ -32,9 +64,67 @@ from repro.core.freeze_model import FreezeEffectModel
 from repro.core.policy import plan_freeze_set
 from repro.core.rhc import pcp_optimal_sequence, spcp_optimal_ratio, threshold_ratio
 from repro.monitor.power_monitor import PowerMonitor
-from repro.scheduler.base import SchedulerInterface
+from repro.scheduler.base import SchedulerInterface, SchedulerRpcError
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One noteworthy defensive action of the control loop."""
+
+    time: float
+    kind: str  # "degraded" | "skipped" | "rpc_giveup" | "reconcile" | "crash" | "recover"
+    group: str
+    detail: str = ""
+
+
+@dataclass
+class ControllerHealth:
+    """Operational statistics of the hardened control loop.
+
+    Counters model the external log/metrics pipeline a production
+    controller ships telemetry to, which is why they survive a simulated
+    controller crash (the in-memory *control* state does not).
+    """
+
+    #: ticks spent in degraded mode (held frozen set on stale data)
+    degraded_ticks: int = 0
+    #: ticks skipped outright on a degenerate power snapshot
+    skipped_ticks: int = 0
+    #: individual RPC retry attempts after a transport failure
+    rpc_retries: int = 0
+    #: RPC intents abandoned after the retry/back-off budget ran out
+    rpc_giveups: int = 0
+    #: ticks on which intent and the scheduler's frozen set disagreed
+    reconciliations: int = 0
+    #: total servers found drifted across all reconciliations
+    reconciliation_diff_total: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    events: List[HealthEvent] = field(default_factory=list)
+
+    def note(self, time: float, kind: str, group: str, detail: str = "") -> None:
+        self.events.append(HealthEvent(time, kind, group, detail))
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, int]:
+        """Scalar counters for reports and assertions."""
+        return {
+            "degraded_ticks": self.degraded_ticks,
+            "skipped_ticks": self.skipped_ticks,
+            "rpc_retries": self.rpc_retries,
+            "rpc_giveups": self.rpc_giveups,
+            "reconciliations": self.reconciliations,
+            "reconciliation_diff_total": self.reconciliation_diff_total,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+        }
 
 
 @dataclass
@@ -55,6 +145,10 @@ class RowControlState:
     #: conservative 99.5th-percentile margin -- by design; RHC feedback is
     #: what absorbs this bias every interval.
     prediction_residuals: List[float] = field(default_factory=list)
+    #: the frozen set the controller *meant* to leave behind last tick;
+    #: compared against the scheduler's authoritative set to detect RPC
+    #: intents that never landed (reconciliation)
+    intended_frozen: FrozenSet[int] = frozenset()
     _last_prediction: Optional[float] = None
 
     @property
@@ -89,6 +183,8 @@ class AmpereController:
         Simulation engine for the periodic control loop.
     scheduler:
         Anything implementing the two-call freeze/unfreeze interface.
+        Calls may raise :class:`SchedulerRpcError`; the controller
+        retries with back-off and reconciles on the next tick.
     monitor:
         Power monitor; every controlled group must be registered there.
     groups:
@@ -121,6 +217,8 @@ class AmpereController:
             if demand_estimator is not None
             else ConstantDemandEstimator(config.default_e_t)
         )
+        self.health = ControllerHealth()
+        self._crashed = False
         self.states: Dict[str, RowControlState] = {}
         for group in groups:
             if group.name in self.states:
@@ -143,8 +241,64 @@ class AmpereController:
         )
 
     # ------------------------------------------------------------------
+    # Crash / recovery (the paper's failover property, made explicit)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Simulate a controller process death.
+
+        Every in-memory structure is lost: per-row statistics, commanded
+        u_t history, prediction state and the intended frozen set. The
+        cluster keeps running -- frozen servers stay frozen in the
+        scheduler -- but no control actions happen until
+        :meth:`recover` (the supervisor restart).
+        """
+        self._crashed = True
+        self.health.crashes += 1
+        self.health.note(self.engine.now, "crash", "*", "in-memory state lost")
+        self.states = {
+            name: RowControlState(group=state.group, server_ids=state.server_ids)
+            for name, state in self.states.items()
+        }
+
+    def recover(self) -> None:
+        """Restart after a crash: rebuild state from durable sources.
+
+        The two sources a restarted production controller has are the
+        scheduler's authoritative frozen set (adopted as the intended
+        set, so the first tick reconciles cleanly instead of reporting
+        phantom drift) and the TSDB's recorded ``freeze_ratio`` series
+        (restores the commanded-u history that Table 2 metrics and the
+        campaign summaries are computed from).
+        """
+        for state in self.states.values():
+            actual = frozenset(self.scheduler.frozen_server_ids() & state.server_ids)
+            state.intended_frozen = actual
+            try:
+                times, values = self.monitor.db.query(
+                    f"freeze_ratio/{state.group.name}"
+                )
+            except KeyError:
+                times, values = (), ()
+            state.u_times = [float(t) for t in times]
+            state.u_history = [float(v) for v in values]
+        self._crashed = False
+        self.health.recoveries += 1
+        self.health.note(
+            self.engine.now,
+            "recover",
+            "*",
+            "state rebuilt from TSDB + scheduler frozen set",
+        )
+
+    # ------------------------------------------------------------------
     def tick(self) -> None:
         """One control action over every managed row (Algorithm 1)."""
+        if self._crashed:
+            return  # process is down; ticks resume after recover()
         now = self.engine.now
         for state in self.states.values():
             self._control_row(state, now)
@@ -152,12 +306,24 @@ class AmpereController:
     def _control_row(self, state: RowControlState, now: float) -> None:
         state.ticks += 1
         try:
-            p_norm = self.monitor.latest_normalized_power(state.group.name)
+            sample_time, p_norm = self.monitor.latest_normalized_sample(
+                state.group.name
+            )
         except (KeyError, LookupError):
             return  # no sample yet; act next interval
+        currently_frozen = set(self.scheduler.frozen_server_ids() & state.server_ids)
+        self._reconcile(state, currently_frozen, now)
+
+        age = now - sample_time
+        if age > self.config.max_staleness_seconds:
+            self._degraded_hold(state, currently_frozen, now, age)
+            return
+        if not math.isfinite(p_norm) or p_norm <= 0.0:
+            self._skip_tick(state, now, f"degenerate row power reading {p_norm!r}")
+            return
+
         e_t = self.demand_estimator.estimate(now)
         target = self.config.control_target
-        currently_frozen = set(self.scheduler.frozen_server_ids() & state.server_ids)
         if state._last_prediction is not None:
             state.prediction_residuals.append(p_norm - state._last_prediction)
 
@@ -165,22 +331,36 @@ class AmpereController:
             u_t = self._optimal_ratio(p_norm, now)
             n_freeze = math.floor(u_t * len(state.group.servers))
             powers = self.monitor.snapshot_server_powers(state.group.name)
+            if not self._snapshot_usable(powers):
+                self._skip_tick(state, now, "empty/all-failed power snapshot")
+                return
+            powers = {
+                sid: (value if math.isfinite(value) else 0.0)
+                for sid, value in powers.items()
+            }
             plan = plan_freeze_set(
                 powers, n_freeze, currently_frozen, self.config.r_stable
             )
-            for server_id in plan.to_unfreeze:
-                self.scheduler.unfreeze(server_id)
-            for server_id in plan.to_freeze:
-                self.scheduler.freeze(server_id)
+            achieved: Set[int] = set(currently_frozen)
+            for server_id in sorted(plan.to_unfreeze):
+                if self._rpc(state, "unfreeze", server_id, now):
+                    achieved.discard(server_id)
+                    state.unfreeze_actions += 1
+            for server_id in sorted(plan.to_freeze):
+                if self._rpc(state, "freeze", server_id, now):
+                    achieved.add(server_id)
+                    state.freeze_actions += 1
             state.active_ticks += 1
-            state.freeze_actions += len(plan.to_freeze)
-            state.unfreeze_actions += len(plan.to_unfreeze)
-            commanded_u = len(plan.new_frozen) / len(state.group.servers)
+            state.intended_frozen = plan.new_frozen
+            commanded_u = len(achieved) / len(state.group.servers)
         else:
-            for server_id in currently_frozen:
-                self.scheduler.unfreeze(server_id)
-            state.unfreeze_actions += len(currently_frozen)
-            commanded_u = 0.0
+            achieved = set(currently_frozen)
+            for server_id in sorted(currently_frozen):
+                if self._rpc(state, "unfreeze", server_id, now):
+                    achieved.discard(server_id)
+                    state.unfreeze_actions += 1
+            state.intended_frozen = frozenset()
+            commanded_u = len(achieved) / len(state.group.servers)
 
         state.u_history.append(commanded_u)
         state.u_times.append(now)
@@ -188,6 +368,121 @@ class AmpereController:
             p_norm + e_t - self.freeze_model.predict(min(1.0, commanded_u))
         )
         self.monitor.db.write(f"freeze_ratio/{state.group.name}", now, commanded_u)
+
+    # ------------------------------------------------------------------
+    # Hardening helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot_usable(powers: Dict[int, float]) -> bool:
+        """A snapshot with no finite positive reading is fiction, not data."""
+        return any(math.isfinite(v) and v > 0.0 for v in powers.values())
+
+    def _reconcile(
+        self, state: RowControlState, currently_frozen: Set[int], now: float
+    ) -> None:
+        """Compare last tick's intent with the scheduler's authoritative set.
+
+        Planning always proceeds from the authoritative set, so recording
+        the drift is enough -- the subsequent plan re-issues whatever the
+        failed RPCs left undone.
+        """
+        drift = state.intended_frozen.symmetric_difference(currently_frozen)
+        if drift:
+            self.health.reconciliations += 1
+            self.health.reconciliation_diff_total += len(drift)
+            self.health.note(
+                now,
+                "reconcile",
+                state.group.name,
+                f"{len(drift)} servers drifted from intent",
+            )
+
+    def _degraded_hold(
+        self,
+        state: RowControlState,
+        currently_frozen: Set[int],
+        now: float,
+        age: float,
+    ) -> None:
+        """Fail-safe action on stale data: hold the frozen set.
+
+        Unfreezing on a stale reading could push a genuinely hot row over
+        its breaker; freezing more on one wastes capacity on fiction. The
+        conservative move is to keep what we have -- including
+        re-asserting intended freezes that RPC faults dropped -- and let
+        the reactive capping net handle true excursions until monitoring
+        recovers.
+        """
+        self.health.degraded_ticks += 1
+        self.health.note(
+            now,
+            "degraded",
+            state.group.name,
+            f"latest sample is {age:.0f}s old "
+            f"(limit {self.config.max_staleness_seconds:.0f}s); holding frozen set",
+        )
+        held = set(currently_frozen)
+        for server_id in sorted(state.intended_frozen - currently_frozen):
+            if self._rpc(state, "freeze", server_id, now):
+                held.add(server_id)
+                state.freeze_actions += 1
+        state.intended_frozen = frozenset(held | state.intended_frozen)
+        state.u_history.append(len(held) / len(state.group.servers))
+        state.u_times.append(now)
+        # No valid observation this tick: the next residual would compare
+        # a fresh sample against a prediction made from stale data.
+        state._last_prediction = None
+        self.monitor.db.write(
+            f"freeze_ratio/{state.group.name}",
+            now,
+            len(held) / len(state.group.servers),
+        )
+
+    def _skip_tick(self, state: RowControlState, now: float, reason: str) -> None:
+        """Refuse to act on a degenerate observation (logged, counted)."""
+        self.health.skipped_ticks += 1
+        self.health.note(now, "skipped", state.group.name, reason)
+        state._last_prediction = None
+
+    def _rpc(
+        self, state: RowControlState, action: str, server_id: int, now: float
+    ) -> bool:
+        """One freeze/unfreeze intent with bounded retry + back-off.
+
+        Returns True when the RPC landed. On giving up the intent is left
+        for next-tick reconciliation -- never silently assumed applied.
+        Back-off is accounted against ``rpc_deadline_seconds`` rather than
+        advancing the simulated clock: the tick is atomic on the engine,
+        but the budget bounds retries exactly as wall-clock would.
+        """
+        config = self.config
+        call = (
+            self.scheduler.freeze if action == "freeze" else self.scheduler.unfreeze
+        )
+        backoff = config.rpc_backoff_base_seconds
+        elapsed = 0.0
+        for attempt in range(1, config.rpc_max_attempts + 1):
+            try:
+                call(server_id)
+            except SchedulerRpcError as error:
+                elapsed += error.latency_seconds
+                out_of_budget = elapsed + backoff > config.rpc_deadline_seconds
+                if attempt >= config.rpc_max_attempts or out_of_budget:
+                    self.health.rpc_giveups += 1
+                    self.health.note(
+                        now,
+                        "rpc_giveup",
+                        state.group.name,
+                        f"{action}({server_id}) failed {attempt}x"
+                        + ("; deadline" if out_of_budget else ""),
+                    )
+                    return False
+                self.health.rpc_retries += 1
+                elapsed += backoff
+                backoff *= 2.0
+            else:
+                return True
+        return False  # not reached; loop always returns
 
     def _optimal_ratio(self, p_norm: float, now: float) -> float:
         """The RHC control: SPCP closed form, or N-step PCP for horizon > 1."""
@@ -221,4 +516,9 @@ class AmpereController:
         return self.states[group_name]
 
 
-__all__ = ["AmpereController", "RowControlState"]
+__all__ = [
+    "AmpereController",
+    "ControllerHealth",
+    "HealthEvent",
+    "RowControlState",
+]

@@ -19,6 +19,7 @@ linearity).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Sequence
 
 
@@ -49,6 +50,11 @@ def spcp_optimal_ratio(
         raise ValueError(f"k_r must be positive, got {k_r}")
     if not 0.0 < u_max <= 1.0:
         raise ValueError(f"u_max must be in (0, 1], got {u_max}")
+    if not (math.isfinite(p_t) and math.isfinite(e_t)):
+        # A NaN/inf reading reaching the optimizer means an upstream
+        # staleness guard failed; refusing loudly beats a silent clamp
+        # that would freeze nothing (NaN compares false everywhere).
+        raise ValueError(f"non-finite SPCP inputs: p_t={p_t}, e_t={e_t}")
     unclamped = (p_t + e_t - p_m) / k_r
     return max(min(unclamped, u_max), 0.0)
 

@@ -1,0 +1,28 @@
+"""Control-plane fault injection.
+
+The cluster simulator has always been able to break *servers*
+(:mod:`repro.sim.failures`); this package breaks the **control plane**
+itself -- the part the paper's safety argument quietly assumes is
+perfect. Three seams are injectable, all deterministic for a fixed
+scenario seed:
+
+- monitor blackouts (the per-minute sweep returns nothing, TSDB stales),
+- scheduler RPC faults (freeze/unfreeze timeouts with injected latency),
+- controller crashes (in-memory state lost; supervisor restarts later).
+
+The hardened :class:`~repro.core.controller.AmpereController` is expected
+to survive all three; ``tests/test_faults.py`` pins that contract.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.rpc import FlakyScheduler, RpcFaultStats
+from repro.faults.scenario import FaultScenario, builtin_scenarios
+
+__all__ = [
+    "FaultInjector",
+    "FaultScenario",
+    "FaultStats",
+    "FlakyScheduler",
+    "RpcFaultStats",
+    "builtin_scenarios",
+]

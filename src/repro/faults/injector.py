@@ -1,0 +1,146 @@
+"""The fault injector: turns a scenario into scheduled engine events.
+
+One injector per run. It wraps the scheduler (RPC faults), toggles the
+monitor's outage flag (blackouts) and crash/restarts the controller, all
+as :class:`~repro.sim.events.EventPriority.FAULT` events so a fault
+scheduled for minute *t* already shapes minute *t*'s observation and
+control action. Everything is deterministic for a fixed scenario seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.faults.rpc import FlakyScheduler
+from repro.faults.scenario import FaultScenario
+from repro.scheduler.base import SchedulerInterface
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import AmpereController
+    from repro.monitor.power_monitor import PowerMonitor
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Picklable snapshot of everything the injector actually did.
+
+    Shipped inside :class:`~repro.sim.experiment.ExperimentResult`, so it
+    crosses the campaign worker boundary like every other metric.
+    """
+
+    scenario: str
+    blackouts_injected: int = 0
+    samples_suppressed: int = 0
+    rpc_calls: int = 0
+    rpc_failures: int = 0
+    crashes_injected: int = 0
+
+
+class FaultInjector:
+    """Schedules one scenario's faults against a run's control plane."""
+
+    def __init__(self, engine: Engine, scenario: FaultScenario) -> None:
+        self.engine = engine
+        self.scenario = scenario
+        self.rng = np.random.default_rng(np.random.SeedSequence(scenario.seed))
+        self.flaky: Optional[FlakyScheduler] = None
+        self.monitor: Optional["PowerMonitor"] = None
+        self.controller: Optional["AmpereController"] = None
+        self.blackouts_injected = 0
+        self.crashes_injected = 0
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # Attachment (build time)
+    # ------------------------------------------------------------------
+    def wrap_scheduler(self, scheduler: SchedulerInterface) -> SchedulerInterface:
+        """Put the RPC fault layer in front of ``scheduler``.
+
+        The wrapper is installed even at a zero failure rate so RPC call
+        accounting is uniform across scenarios.
+        """
+        self.flaky = FlakyScheduler(
+            scheduler,
+            rng=self.rng,
+            failure_rate=self.scenario.rpc_failure_rate,
+            latency_seconds=self.scenario.rpc_latency_seconds,
+            timeout_seconds=self.scenario.rpc_timeout_seconds,
+        )
+        return self.flaky
+
+    def attach_monitor(self, monitor: "PowerMonitor") -> None:
+        self.monitor = monitor
+
+    def attach_controller(self, controller: "AmpereController") -> None:
+        self.controller = controller
+
+    # ------------------------------------------------------------------
+    # Arming (run time)
+    # ------------------------------------------------------------------
+    def arm(self, until: float) -> None:
+        """Schedule every fault event in ``[now, until)`` on the engine."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        now = self.engine.now
+        if self.monitor is not None:
+            for start, duration in self.scenario.blackouts:
+                if start < now or start >= until:
+                    continue
+                self.engine.schedule(
+                    start, EventPriority.FAULT, self._begin_blackout
+                )
+                self.engine.schedule(
+                    start + duration, EventPriority.FAULT, self._end_blackout
+                )
+        if self.controller is not None:
+            for crash_at in self.scenario.crash_times:
+                if crash_at < now or crash_at >= until:
+                    continue
+                self.engine.schedule(crash_at, EventPriority.FAULT, self._crash)
+                self.engine.schedule(
+                    crash_at + self.scenario.restart_delay_seconds,
+                    EventPriority.FAULT,
+                    self._restart,
+                )
+
+    def _begin_blackout(self) -> None:
+        assert self.monitor is not None
+        self.blackouts_injected += 1
+        self.monitor.begin_outage()
+
+    def _end_blackout(self) -> None:
+        assert self.monitor is not None
+        self.monitor.end_outage()
+
+    def _crash(self) -> None:
+        assert self.controller is not None
+        self.crashes_injected += 1
+        self.controller.crash()
+
+    def _restart(self) -> None:
+        assert self.controller is not None
+        if self.controller.crashed:
+            self.controller.recover()
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> FaultStats:
+        """Freeze the injector's counters into a picklable record."""
+        return FaultStats(
+            scenario=self.scenario.name,
+            blackouts_injected=self.blackouts_injected,
+            samples_suppressed=(
+                self.monitor.samples_suppressed if self.monitor is not None else 0
+            ),
+            rpc_calls=self.flaky.stats.calls if self.flaky is not None else 0,
+            rpc_failures=self.flaky.stats.failures if self.flaky is not None else 0,
+            crashes_injected=self.crashes_injected,
+        )
+
+
+__all__ = ["FaultInjector", "FaultStats"]

@@ -1,0 +1,104 @@
+"""A scheduler proxy whose freeze/unfreeze RPCs fail like real ones.
+
+In production the scheduler is a remote service; Ampere's two control
+calls cross a network. :class:`FlakyScheduler` wraps any
+:class:`~repro.scheduler.base.SchedulerInterface` and makes exactly those
+two calls fail with configurable probability, raising
+:class:`~repro.scheduler.base.SchedulerRpcError` *before* the inner call
+runs -- a failed RPC is guaranteed not to have been applied, matching the
+interface contract. Reads (``frozen_server_ids``) and job submission pass
+through untouched: the fault surface is the control path, not the data
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet
+
+import numpy as np
+
+from repro.scheduler.base import SchedulerInterface, SchedulerRpcError
+from repro.workload.job import Job
+
+
+@dataclass
+class RpcFaultStats:
+    """What the fault layer did to the control path."""
+
+    calls: int = 0
+    failures: int = 0
+    injected_latency_seconds: float = 0.0
+
+    @property
+    def observed_failure_rate(self) -> float:
+        return self.failures / self.calls if self.calls else 0.0
+
+
+class FlakyScheduler(SchedulerInterface):
+    """Transparent scheduler wrapper with injectable RPC faults.
+
+    Parameters
+    ----------
+    inner:
+        The real scheduler.
+    rng:
+        Fault RNG (derive from the scenario seed, never the experiment's,
+        so fault timing replays independently of workload randomness).
+    failure_rate:
+        Per-call probability that a freeze/unfreeze raises.
+    latency_seconds / timeout_seconds:
+        Latency charged to successful calls / to failures. The failure
+        cost is what drains the controller's per-tick RPC deadline.
+    """
+
+    def __init__(
+        self,
+        inner: SchedulerInterface,
+        rng: np.random.Generator,
+        failure_rate: float = 0.0,
+        latency_seconds: float = 0.02,
+        timeout_seconds: float = 2.0,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        self.inner = inner
+        self.rng = rng
+        self.failure_rate = failure_rate
+        self.latency_seconds = latency_seconds
+        self.timeout_seconds = timeout_seconds
+        self.stats = RpcFaultStats()
+
+    # ------------------------------------------------------------------
+    # SchedulerInterface
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        self.inner.submit(job)
+
+    def freeze(self, server_id: int) -> None:
+        self._call("freeze", server_id, self.inner.freeze)
+
+    def unfreeze(self, server_id: int) -> None:
+        self._call("unfreeze", server_id, self.inner.unfreeze)
+
+    def frozen_server_ids(self) -> FrozenSet[int]:
+        return self.inner.frozen_server_ids()
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, action: str, server_id: int, call: Callable[[int], None]
+    ) -> None:
+        self.stats.calls += 1
+        if self.failure_rate > 0 and self.rng.random() < self.failure_rate:
+            self.stats.failures += 1
+            self.stats.injected_latency_seconds += self.timeout_seconds
+            raise SchedulerRpcError(
+                f"{action}({server_id}) timed out after "
+                f"{self.timeout_seconds:.1f}s",
+                latency_seconds=self.timeout_seconds,
+            )
+        self.stats.injected_latency_seconds += self.latency_seconds
+        call(server_id)
+
+
+__all__ = ["FlakyScheduler", "RpcFaultStats"]

@@ -70,12 +70,20 @@ class BmcEndpoint:
 
 
 class IpmiFleet:
-    """All BMC endpoints of a fleet, with last-known-value fallback.
+    """All BMC endpoints of a fleet, with *bounded* last-known-value fallback.
 
     ``poll_all`` returns a complete power map even when individual reads
     time out: a failed poll reuses the server's last successful reading
     (or its idle power before any success), which is exactly what a
     production aggregation pipeline does rather than dropping the row.
+
+    The carry-through is bounded: after ``max_fallback_polls``
+    *consecutive* timeouts the endpoint is declared stale and reads NaN
+    until a poll succeeds again. Replaying an arbitrarily old value
+    forever would let a dead BMC (or a dead server behind it) keep
+    reporting its last busy-hour wattage indefinitely -- exactly the kind
+    of fiction a power controller must not steer on. Stale endpoints are
+    listed in :attr:`stale_ids`.
     """
 
     def __init__(
@@ -84,7 +92,12 @@ class IpmiFleet:
         rng: np.random.Generator,
         noise_sigma: float = 0.01,
         failure_rate: float = 0.001,
+        max_fallback_polls: int = 5,
     ) -> None:
+        if max_fallback_polls < 0:
+            raise ValueError(
+                f"max_fallback_polls must be non-negative, got {max_fallback_polls}"
+            )
         self.endpoints: Dict[int, BmcEndpoint] = {
             s.server_id: BmcEndpoint(
                 s, rng, noise_sigma=noise_sigma, failure_rate=failure_rate
@@ -96,16 +109,28 @@ class IpmiFleet:
         self._last_known: Dict[int, float] = {
             s.server_id: s.power_params.idle_watts for s in servers
         }
+        self.max_fallback_polls = max_fallback_polls
+        self._timeout_streak: Dict[int, int] = {sid: 0 for sid in self.endpoints}
+        self.stale_ids: set = set()
         self.fallbacks_used = 0
+        self.stale_reads = 0
 
     def poll_all(self) -> Dict[int, float]:
         readings: Dict[int, float] = {}
         for server_id, endpoint in self.endpoints.items():
             value = endpoint.read_power()
             if value is None:
-                self.fallbacks_used += 1
-                value = self._last_known[server_id]
+                self._timeout_streak[server_id] += 1
+                if self._timeout_streak[server_id] > self.max_fallback_polls:
+                    self.stale_ids.add(server_id)
+                    self.stale_reads += 1
+                    value = float("nan")
+                else:
+                    self.fallbacks_used += 1
+                    value = self._last_known[server_id]
             else:
+                self._timeout_streak[server_id] = 0
+                self.stale_ids.discard(server_id)
                 self._last_known[server_id] = value
             readings[server_id] = value
         return readings

@@ -79,6 +79,14 @@ class PowerMonitor:
         #: names of Row groups whose breaker has tripped (catastrophic)
         self.breaker_trips: set = set()
         self.samples_taken = 0
+        #: monitoring blackout: while True the per-minute sweep returns
+        #: nothing and the TSDB goes stale (a collector outage, not a
+        #: sensor fault -- the cluster itself keeps running)
+        self.in_outage = False
+        self.outages_begun = 0
+        self.samples_suppressed = 0
+        #: per-server readings discarded because the BMC went stale (NaN)
+        self.stale_readings = 0
 
     # ------------------------------------------------------------------
     def register_group(self, group: ServerGroup) -> None:
@@ -115,8 +123,31 @@ class PowerMonitor:
         )
 
     # ------------------------------------------------------------------
+    # Outage control (the monitor-blackout fault seam)
+    # ------------------------------------------------------------------
+    def begin_outage(self) -> None:
+        """Enter a monitoring blackout: sweeps are dropped until
+        :meth:`end_outage`. Idempotent."""
+        if not self.in_outage:
+            self.in_outage = True
+            self.outages_begun += 1
+
+    def end_outage(self) -> None:
+        """Leave a monitoring blackout; the next sweep lands normally."""
+        self.in_outage = False
+
+    # ------------------------------------------------------------------
     def sample_once(self) -> None:
-        """Take one sample of every registered group."""
+        """Take one sample of every registered group.
+
+        During an outage the sweep is dropped entirely -- no TSDB write,
+        no violation accounting -- which is what makes the stored series
+        *stale* rather than merely noisy. Consumers must check sample
+        timestamps (:meth:`latest_normalized_sample`) before acting.
+        """
+        if self.in_outage:
+            self.samples_suppressed += 1
+            return
         now = self.engine.now
         self.samples_taken += 1
         for group in self._groups.values():
@@ -126,6 +157,15 @@ class PowerMonitor:
                 readings = np.array(
                     [polled[s.server_id] for s in group.servers], dtype=float
                 )
+                stale = int(np.count_nonzero(~np.isfinite(readings)))
+                if stale:
+                    self.stale_readings += stale
+                    if stale == len(readings):
+                        # Every BMC stale: there is no measurement to
+                        # publish. Dropping the group sample (instead of
+                        # writing 0 W) keeps the series honest.
+                        self.samples_suppressed += 1
+                        continue
             else:
                 true_powers = np.fromiter(
                     (server.power_watts() for server in group.servers),
@@ -139,7 +179,7 @@ class PowerMonitor:
                     readings = true_powers * noise
                 else:
                     readings = true_powers
-            total = float(readings.sum())
+            total = float(np.nansum(readings))
             if self.store_per_server:
                 for server, reading in zip(group.servers, readings):
                     self.db.write(f"power/server/{server.server_id}", now, reading)
@@ -164,6 +204,16 @@ class PowerMonitor:
     def latest_normalized_power(self, group_name: str) -> float:
         """Most recent group power normalized to its budget P_M."""
         return self.db.latest(f"power_norm/{group_name}")
+
+    def latest_normalized_sample(self, group_name: str) -> "tuple[float, float]":
+        """``(timestamp, power/P_M)`` of the most recent sample.
+
+        The timestamp lets consumers detect staleness: during a
+        monitoring blackout the latest sample stops advancing, and a
+        controller that compares it against the current time can tell it
+        is steering on old data.
+        """
+        return self.db.latest_point(f"power_norm/{group_name}")
 
     def power_series(self, group_name: str, start=None, end=None):
         """``(times, watts)`` arrays for a group."""

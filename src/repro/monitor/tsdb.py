@@ -141,6 +141,17 @@ class TimeSeriesDatabase:
             raise KeyError(f"unknown metric {name!r}")
         return self._series[name].last_value()
 
+    def latest_point(self, name: str) -> Tuple[float, float]:
+        """Most recent ``(timestamp, value)`` of a metric.
+
+        The timestamp is what lets a consumer decide whether the value is
+        *stale* -- a controller steering on a power reading must know how
+        old that reading is, not just its magnitude.
+        """
+        if name not in self._series:
+            raise KeyError(f"unknown metric {name!r}")
+        return self._series[name].last()
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

@@ -41,6 +41,22 @@ class SchedulerStats:
         )
 
 
+class SchedulerRpcError(RuntimeError):
+    """A freeze/unfreeze RPC failed in transit (timeout, connection reset).
+
+    Part of the interface contract: in production the scheduler is a
+    remote service, so ``freeze``/``unfreeze`` may fail without the
+    request having been applied. Callers must treat a raise as
+    "state unchanged" and either retry or reconcile on the next tick.
+    ``latency_seconds`` is how long the caller waited before the failure
+    surfaced (a timeout costs its full deadline).
+    """
+
+    def __init__(self, message: str, latency_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.latency_seconds = latency_seconds
+
+
 class SchedulerInterface(abc.ABC):
     """What a data-center scheduler must expose for Ampere to work."""
 
@@ -52,16 +68,23 @@ class SchedulerInterface(abc.ABC):
     def freeze(self, server_id: int) -> None:
         """Advise: stop assigning new jobs to this server.
 
-        Running jobs are unaffected. Idempotent.
+        Running jobs are unaffected. Idempotent. May raise
+        :class:`SchedulerRpcError` when the control plane is degraded;
+        the request is then guaranteed *not* to have been applied.
         """
 
     @abc.abstractmethod
     def unfreeze(self, server_id: int) -> None:
-        """Make a frozen server schedulable again. Idempotent."""
+        """Make a frozen server schedulable again. Idempotent. May raise
+        :class:`SchedulerRpcError` (request not applied)."""
 
     @abc.abstractmethod
     def frozen_server_ids(self) -> FrozenSet[int]:
-        """Currently frozen server ids (for controller bookkeeping)."""
+        """Currently frozen server ids -- the *authoritative* frozen set.
+
+        A restarted or reconciling controller must trust this over any
+        in-memory copy of its own intent.
+        """
 
 
-__all__ = ["SchedulerInterface", "SchedulerStats"]
+__all__ = ["SchedulerInterface", "SchedulerRpcError", "SchedulerStats"]

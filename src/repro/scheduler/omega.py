@@ -141,6 +141,8 @@ class OmegaScheduler(SchedulerInterface):
     def freeze(self, server_id: int) -> None:
         if server_id not in self.tracker.index_of:
             raise KeyError(f"unknown server id {server_id}")
+        if server_id in self._frozen_ids:
+            return  # idempotent: reconciliation may re-assert a freeze
         index = self.tracker.index_of[server_id]
         self.tracker.server_at(index).freeze()
         self.tracker.set_frozen(server_id, True)
@@ -150,6 +152,8 @@ class OmegaScheduler(SchedulerInterface):
     def unfreeze(self, server_id: int) -> None:
         if server_id not in self.tracker.index_of:
             raise KeyError(f"unknown server id {server_id}")
+        if server_id not in self._frozen_ids:
+            return  # idempotent: a retried unfreeze must not re-drain
         index = self.tracker.index_of[server_id]
         self.tracker.server_at(index).unfreeze()
         self.tracker.set_frozen(server_id, False)

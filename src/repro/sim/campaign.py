@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.faults.scenario import FaultScenario
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 
@@ -61,6 +62,9 @@ class CampaignRunConfig:
     n_servers: int = 400
     duration_hours: float = 12.0
     warmup_hours: float = 1.0
+    #: control-plane fault schedule applied identically to every cell
+    #: (the fault-sweep experiments run one campaign per scenario)
+    faults: Optional[FaultScenario] = None
 
 
 #: Canonical column order of a campaign row record. ``save_csv`` writes
@@ -148,6 +152,7 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         scale_control_budget=False,  # Section 4.4 design
         workload=cell.workload,
         seed=cell.seed,
+        faults=config.faults,
     )
     outcome = ControlledExperiment(experiment_config).run()
     summary = outcome.experiment.summary
@@ -238,6 +243,7 @@ class Campaign:
         n_servers: int = 400,
         duration_hours: float = 12.0,
         warmup_hours: float = 1.0,
+        faults: Optional[FaultScenario] = None,
     ) -> None:
         if not ratios:
             raise ValueError("campaign needs at least one over-provision ratio")
@@ -259,6 +265,7 @@ class Campaign:
             n_servers=n_servers,
             duration_hours=duration_hours,
             warmup_hours=warmup_hours,
+            faults=faults,
         )
 
     # Backwards-compatible views of the per-cell configuration.

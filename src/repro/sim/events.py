@@ -28,6 +28,11 @@ class EventPriority(enum.IntEnum):
     JOB_ARRIVAL = 10
     SCHEDULE_PASS = 20
     INTERACTIVE = 30
+    #: control-plane fault transitions (blackout begin/end, controller
+    #: crash/restart) take effect *before* the monitor and controller run
+    #: at the same instant, so a fault scheduled for minute t already
+    #: shapes minute t's observation and control action.
+    FAULT = 35
     MONITOR_SAMPLE = 40
     CONTROLLER_TICK = 50
     CAPPING_TICK = 60

@@ -34,9 +34,12 @@ from repro.analysis.metrics import (
 from repro.cluster.capping import CappingEngine, CappingStats
 from repro.cluster.group import ServerGroup
 from repro.core.config import AmpereConfig
-from repro.core.controller import AmpereController
+from repro.core.controller import AmpereController, ControllerHealth
 from repro.core.demand import ConstantDemandEstimator, DemandEstimator
 from repro.core.freeze_model import DEFAULT_K_R, FreezeEffectModel
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.scenario import FaultScenario
+from repro.scheduler.base import SchedulerInterface
 from repro.scheduler.policies import PlacementPolicy
 from repro.sim.testbed import Testbed, WorkloadSpec
 
@@ -61,6 +64,8 @@ class ExperimentConfig:
     monitor_noise_sigma: float = 0.01
     placement_policy: Optional[PlacementPolicy] = None
     seed: int = 0
+    #: control-plane fault schedule (None = the perfect control plane)
+    faults: Optional[FaultScenario] = None
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -130,6 +135,10 @@ class ExperimentResult:
     r_t: float
     g_tpw: float
     capping_stats: Optional[CappingStats] = None
+    #: what the fault injector actually did (None for fault-free runs)
+    fault_stats: Optional[FaultStats] = None
+    #: the controller's defensive-action telemetry (None when disabled)
+    controller_health: Optional[ControllerHealth] = None
 
     def violations(self) -> dict:
         return {
@@ -172,11 +181,24 @@ class ControlledExperiment:
         self.testbed.throughput.track(self.experiment_group)
         self.testbed.throughput.track(self.control_group)
 
+        # The controller talks to the scheduler through the fault layer
+        # when a scenario is configured; everything else (workload
+        # submission, completion events) uses the real scheduler, since
+        # the injected faults model the *control* path.
+        self.injector: Optional[FaultInjector] = None
+        controller_scheduler: SchedulerInterface = self.testbed.scheduler
+        if config.faults is not None:
+            self.injector = FaultInjector(self.testbed.engine, config.faults)
+            controller_scheduler = self.injector.wrap_scheduler(
+                self.testbed.scheduler
+            )
+            self.injector.attach_monitor(self.testbed.monitor)
+
         self.controller: Optional[AmpereController] = None
         if config.ampere_enabled:
             self.controller = AmpereController(
                 self.testbed.engine,
-                self.testbed.scheduler,
+                controller_scheduler,
                 self.testbed.monitor,
                 [self.experiment_group],
                 config=config.ampere,
@@ -187,6 +209,8 @@ class ControlledExperiment:
                     else ConstantDemandEstimator(config.ampere.default_e_t)
                 ),
             )
+        if self.injector is not None and self.controller is not None:
+            self.injector.attach_controller(self.controller)
         self.capping: Optional[CappingEngine] = None
         if config.capping_enabled:
             self.capping = CappingEngine(
@@ -215,6 +239,8 @@ class ControlledExperiment:
             self.controller.start(end, first_at=warmup)
         if self.capping is not None:
             self.capping.start(end, first_at=warmup)
+        if self.injector is not None:
+            self.injector.arm(end)
         self.testbed.engine.run(until=end)
 
         return self._collect(warmup, end)
@@ -232,6 +258,12 @@ class ControlledExperiment:
             r_t=r_t,
             g_tpw=g_tpw,
             capping_stats=self.capping.stats if self.capping is not None else None,
+            fault_stats=(
+                self.injector.stats_snapshot() if self.injector is not None else None
+            ),
+            controller_health=(
+                self.controller.health if self.controller is not None else None
+            ),
         )
 
     def _collect_group(
