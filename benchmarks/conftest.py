@@ -10,7 +10,6 @@ factors, where crossovers fall), not absolute numbers -- the substrate is
 a simulator, not the authors' 400-server production row.
 """
 
-import numpy as np
 import pytest
 
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig

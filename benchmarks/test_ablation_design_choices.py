@@ -14,8 +14,6 @@ sensitivity study; these benches quantify them on the simulator:
   break the control.
 """
 
-import pytest
-
 from benchmarks.conftest import once, print_header
 from repro.analysis.report import render_table
 from repro.core.config import AmpereConfig

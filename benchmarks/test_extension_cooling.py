@@ -11,12 +11,8 @@ import numpy as np
 
 from benchmarks.conftest import once, print_header
 from repro.analysis.report import render_table
-from repro.cluster.group import ServerGroup
 from repro.cooling.controller import CoolingController, StaticWorstCaseCooling
 from repro.cooling.thermal import CoolingUnit
-from repro.monitor.power_monitor import PowerMonitor
-from repro.scheduler.omega import OmegaScheduler
-from repro.sim.engine import Engine
 from repro.sim.testbed import Testbed, WorkloadSpec
 
 

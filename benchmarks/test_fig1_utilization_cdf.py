@@ -6,8 +6,6 @@ wider at smaller aggregation scales -- individual racks range closer to
 their budgets than the facility does.
 """
 
-import numpy as np
-
 from benchmarks.conftest import once, print_header
 from repro.analysis.report import render_cdf
 from repro.analysis.stats import empirical_cdf

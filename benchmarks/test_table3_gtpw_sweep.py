@@ -18,8 +18,6 @@ workload (the budget is the binding constraint, extra servers just idle);
 r_O = 0.17 is the sweet spot under typical load.
 """
 
-import numpy as np
-
 from benchmarks.conftest import once, print_header
 from repro.analysis.report import format_percent, render_table
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig

@@ -23,6 +23,8 @@ contains:
 The most common entry points are re-exported here.
 """
 
+import logging
+
 from repro.core.advisor import recommend_over_provision_ratio
 from repro.core.config import AmpereConfig
 from repro.core.controller import AmpereController
@@ -36,6 +38,10 @@ from repro.sim.campaign import Campaign, CampaignRunConfig, run_cell
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
 from repro.sim.parallel import run_cells_parallel
 from repro.sim.testbed import Testbed, WorkloadSpec
+
+# Library convention: emit nothing unless the application configures
+# logging (repro.telemetry.configure_logging or logging.basicConfig).
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __all__ = [
     "AmpereConfig",

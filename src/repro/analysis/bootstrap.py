@@ -9,7 +9,7 @@ same demand minute by minute -- resampling minutes keeps that coupling).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 

@@ -8,9 +8,14 @@ Exposes the main experiment harnesses without writing Python::
     ampere-repro calibrate --hours 12
     ampere-repro interactive --hours 2
     ampere-repro trace --days 1
+    ampere-repro metrics --hours 2 --json snapshot.json
+    ampere-repro spans --hours 2
 
 (``run`` is an alias of ``experiment``; ``--faults`` injects one of the
-named control-plane fault scenarios from :mod:`repro.faults`.)
+named control-plane fault scenarios from :mod:`repro.faults`. ``metrics``
+and ``spans`` run a telemetry-enabled experiment and expose the
+:mod:`repro.telemetry` registry and control-loop span traces; the global
+``--log-level`` flag turns on the package's stdlib logging.)
 
 Every command prints the same style of tables the paper reports and exits
 non-zero on invalid arguments.
@@ -26,6 +31,9 @@ from repro.analysis.report import format_percent, render_table
 from repro.faults.scenario import builtin_scenarios
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
 from repro.sim.testbed import WorkloadSpec
+from repro.telemetry import configure_logging
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
 
 WORKLOADS = {
     "light": WorkloadSpec.light,
@@ -47,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ampere-repro",
         description="Reproduction of Ampere (EuroSys 2016): statistical power control",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        metavar="LEVEL",
+        help="enable stdlib logging for the repro package "
+        f"({', '.join(LOG_LEVELS)}; default: logging stays silent)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -145,7 +161,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="apply a named fault scenario to every cell (chaos sweeps)",
     )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a telemetry-enabled experiment and print its metrics "
+        "(Prometheus text format)",
+    )
+    _add_telemetry_run_args(metrics)
+    metrics.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the JSON snapshot to PATH",
+    )
+    metrics.add_argument(
+        "--prom",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the Prometheus exposition to PATH",
+    )
+
+    spans = sub.add_parser(
+        "spans",
+        help="run a telemetry-enabled experiment and summarize its "
+        "control-loop span traces",
+    )
+    _add_telemetry_run_args(spans)
+    spans.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="restrict to one span name (e.g. controller.tick)",
+    )
+    spans.add_argument(
+        "--last",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the last N raw span records",
+    )
     return parser
+
+
+def _add_telemetry_run_args(parser: argparse.ArgumentParser) -> None:
+    """Shared arguments of the ``metrics`` and ``spans`` commands."""
+    _add_common(parser)
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--ro", type=float, default=0.25, help="over-provision ratio")
+    parser.add_argument("--workload", choices=sorted(WORKLOADS), default="heavy")
+    parser.add_argument(
+        "--faults",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="inject a named control-plane fault scenario",
+    )
 
 
 def _print_fault_report(result: ExperimentResult) -> None:
@@ -266,8 +337,6 @@ def cmd_interactive(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.workload.traces import MultiRowTraceConfig, run_multi_row_trace
 
     trace = run_multi_row_trace(
@@ -382,6 +451,81 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_telemetry_experiment(args: argparse.Namespace) -> ControlledExperiment:
+    """Build and run the telemetry-enabled experiment behind
+    ``metrics``/``spans``. Returns the experiment (registry + tracer)."""
+    config = ExperimentConfig(
+        n_servers=args.servers,
+        duration_hours=args.hours,
+        over_provision_ratio=args.ro,
+        workload=WORKLOADS[args.workload](),
+        seed=args.seed,
+        faults=SCENARIOS[args.faults] if args.faults else None,
+        telemetry_enabled=True,
+    )
+    experiment = ControlledExperiment(config)
+    experiment.run()
+    return experiment
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_prometheus, save_snapshot
+
+    experiment = _run_telemetry_experiment(args)
+    registry = experiment.telemetry.registry
+    text = render_prometheus(registry)
+    print(text, end="")
+    if args.prom:
+        with open(args.prom, "w") as handle:
+            handle.write(text)
+        print(f"# exposition written to {args.prom}", file=sys.stderr)
+    if args.json:
+        save_snapshot(registry, args.json)
+        print(f"# snapshot written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    experiment = _run_telemetry_experiment(args)
+    tracer = experiment.telemetry.tracer
+    summary = tracer.summary()
+    if args.name is not None:
+        summary = {k: v for k, v in summary.items() if k == args.name}
+        if not summary:
+            print(f"no spans named {args.name!r}", file=sys.stderr)
+            return 1
+    rows = [
+        [
+            name,
+            str(int(stats["count"])),
+            f"{stats['sim_total']:.1f}",
+            f"{stats['wall_total'] * 1e3:.2f}",
+            f"{stats['wall_mean'] * 1e6:.1f}",
+            f"{stats['wall_max'] * 1e6:.1f}",
+        ]
+        for name, stats in sorted(summary.items())
+    ]
+    print(
+        render_table(
+            ["span", "count", "sim total (s)", "wall total (ms)",
+             "wall mean (us)", "wall max (us)"],
+            rows,
+        )
+    )
+    if tracer.dropped:
+        print(f"\n({tracer.dropped} spans dropped by the ring buffer)")
+    if args.last > 0:
+        records = list(tracer.spans(name=args.name))[-args.last :]
+        print()
+        for record in records:
+            print(
+                f"  t={record.start_sim:10.1f}s  {record.name:<16s} "
+                f"wall={record.wall_duration * 1e6:8.1f}us "
+                f"attrs={record.attributes}"
+            )
+    return 0
+
+
 COMMANDS = {
     "experiment": cmd_experiment,
     "run": cmd_experiment,  # alias registered on the subparser
@@ -391,11 +535,15 @@ COMMANDS = {
     "trace": cmd_trace,
     "advise": cmd_advise,
     "campaign": cmd_campaign,
+    "metrics": cmd_metrics,
+    "spans": cmd_spans,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     return COMMANDS[args.command](args)
 
 

@@ -53,6 +53,7 @@ not: it is hardened against the three operational hazards injected by
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
@@ -67,6 +68,10 @@ from repro.monitor.power_monitor import PowerMonitor
 from repro.scheduler.base import SchedulerInterface, SchedulerRpcError
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
+from repro.telemetry import Telemetry
+from repro.telemetry.bridge import health_counters
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,14 @@ class ControllerHealth:
     Counters model the external log/metrics pipeline a production
     controller ships telemetry to, which is why they survive a simulated
     controller crash (the in-memory *control* state does not).
+
+    Since the telemetry subsystem landed, the registry is that external
+    pipeline made concrete: :meth:`bind` mirrors every counter into
+    ``repro_controller_health_total{kind=...}`` and every
+    :meth:`note` into ``repro_controller_health_events_total{kind=...}``,
+    keeping this dataclass as the in-process *view* the existing tests
+    and reports consume. Mutate the counters through :meth:`bump` so the
+    mirror stays exact.
     """
 
     #: ticks spent in degraded mode (held frozen set on stale data)
@@ -104,8 +117,38 @@ class ControllerHealth:
     recoveries: int = 0
     events: List[HealthEvent] = field(default_factory=list)
 
+    def bind(self, telemetry: Telemetry) -> None:
+        """Mirror every counter/event into the telemetry registry."""
+        self._counters = health_counters(telemetry)
+        self._telemetry = telemetry
+
+    def bump(self, kind: str, amount: int = 1) -> None:
+        """Increment one scalar counter (and its registry mirror)."""
+        setattr(self, kind, getattr(self, kind) + amount)
+        counters = getattr(self, "_counters", None)
+        if counters is not None:
+            counters[kind].inc(amount)
+
     def note(self, time: float, kind: str, group: str, detail: str = "") -> None:
         self.events.append(HealthEvent(time, kind, group, detail))
+        telemetry = getattr(self, "_telemetry", None)
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_controller_health_events_total",
+                "Noteworthy defensive actions of the control loop, by kind",
+                labels={"kind": kind},
+            ).inc()
+
+    def __getstate__(self) -> dict:
+        # The registry mirror is process-local wiring; the scalar view
+        # is what crosses pickling boundaries (campaign workers).
+        state = self.__dict__.copy()
+        state.pop("_counters", None)
+        state.pop("_telemetry", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def counts_by_kind(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -206,6 +249,7 @@ class AmpereController:
         config: AmpereConfig = AmpereConfig(),
         freeze_model: Optional[FreezeEffectModel] = None,
         demand_estimator: Optional[DemandEstimator] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.engine = engine
         self.scheduler = scheduler
@@ -217,9 +261,16 @@ class AmpereController:
             if demand_estimator is not None
             else ConstantDemandEstimator(config.default_e_t)
         )
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else getattr(engine, "telemetry", None) or Telemetry.disabled()
+        )
         self.health = ControllerHealth()
+        self.health.bind(self.telemetry)
         self._crashed = False
         self.states: Dict[str, RowControlState] = {}
+        self._row_instruments: Dict[str, Dict[str, object]] = {}
         for group in groups:
             if group.name in self.states:
                 raise ValueError(f"duplicate controlled group {group.name!r}")
@@ -227,6 +278,39 @@ class AmpereController:
                 group=group,
                 server_ids=frozenset(s.server_id for s in group.servers),
             )
+            labels = {"group": group.name}
+            self._row_instruments[group.name] = {
+                "ticks": self.telemetry.counter(
+                    "repro_controller_ticks_total",
+                    "Control ticks evaluated per controlled row",
+                    labels,
+                ),
+                "active_ticks": self.telemetry.counter(
+                    "repro_controller_active_ticks_total",
+                    "Ticks on which the row was over threshold and acted",
+                    labels,
+                ),
+                "freezes": self.telemetry.counter(
+                    "repro_controller_freeze_actions_total",
+                    "Freeze RPCs that landed",
+                    labels,
+                ),
+                "unfreezes": self.telemetry.counter(
+                    "repro_controller_unfreeze_actions_total",
+                    "Unfreeze RPCs that landed",
+                    labels,
+                ),
+                "commanded_u": self.telemetry.gauge(
+                    "repro_controller_commanded_u",
+                    "Latest commanded freezing ratio u_t",
+                    labels,
+                ),
+                "frozen": self.telemetry.gauge(
+                    "repro_controller_frozen_servers",
+                    "Servers the controller intends frozen after its last tick",
+                    labels,
+                ),
+            }
         if not self.states:
             raise ValueError("controller needs at least one group to control")
 
@@ -257,8 +341,11 @@ class AmpereController:
         :meth:`recover` (the supervisor restart).
         """
         self._crashed = True
-        self.health.crashes += 1
+        self.health.bump("crashes")
         self.health.note(self.engine.now, "crash", "*", "in-memory state lost")
+        logger.error(
+            "controller crashed at t=%.0fs; in-memory state lost", self.engine.now
+        )
         self.states = {
             name: RowControlState(group=state.group, server_ids=state.server_ids)
             for name, state in self.states.items()
@@ -286,12 +373,16 @@ class AmpereController:
             state.u_times = [float(t) for t in times]
             state.u_history = [float(v) for v in values]
         self._crashed = False
-        self.health.recoveries += 1
+        self.health.bump("recoveries")
         self.health.note(
             self.engine.now,
             "recover",
             "*",
             "state rebuilt from TSDB + scheduler frozen set",
+        )
+        logger.info(
+            "controller recovered at t=%.0fs from TSDB + scheduler frozen set",
+            self.engine.now,
         )
 
     # ------------------------------------------------------------------
@@ -300,11 +391,14 @@ class AmpereController:
         if self._crashed:
             return  # process is down; ticks resume after recover()
         now = self.engine.now
-        for state in self.states.values():
-            self._control_row(state, now)
+        with self.telemetry.span("controller.tick", rows=len(self.states)):
+            for state in self.states.values():
+                self._control_row(state, now)
 
     def _control_row(self, state: RowControlState, now: float) -> None:
         state.ticks += 1
+        instruments = self._row_instruments[state.group.name]
+        instruments["ticks"].inc()
         try:
             sample_time, p_norm = self.monitor.latest_normalized_sample(
                 state.group.name
@@ -346,11 +440,14 @@ class AmpereController:
                 if self._rpc(state, "unfreeze", server_id, now):
                     achieved.discard(server_id)
                     state.unfreeze_actions += 1
+                    instruments["unfreezes"].inc()
             for server_id in sorted(plan.to_freeze):
                 if self._rpc(state, "freeze", server_id, now):
                     achieved.add(server_id)
                     state.freeze_actions += 1
+                    instruments["freezes"].inc()
             state.active_ticks += 1
+            instruments["active_ticks"].inc()
             state.intended_frozen = plan.new_frozen
             commanded_u = len(achieved) / len(state.group.servers)
         else:
@@ -359,9 +456,12 @@ class AmpereController:
                 if self._rpc(state, "unfreeze", server_id, now):
                     achieved.discard(server_id)
                     state.unfreeze_actions += 1
+                    instruments["unfreezes"].inc()
             state.intended_frozen = frozenset()
             commanded_u = len(achieved) / len(state.group.servers)
 
+        instruments["commanded_u"].set(commanded_u)
+        instruments["frozen"].set(len(state.intended_frozen))
         state.u_history.append(commanded_u)
         state.u_times.append(now)
         state._last_prediction = (
@@ -388,13 +488,20 @@ class AmpereController:
         """
         drift = state.intended_frozen.symmetric_difference(currently_frozen)
         if drift:
-            self.health.reconciliations += 1
-            self.health.reconciliation_diff_total += len(drift)
+            self.health.bump("reconciliations")
+            self.health.bump("reconciliation_diff_total", len(drift))
             self.health.note(
                 now,
                 "reconcile",
                 state.group.name,
                 f"{len(drift)} servers drifted from intent",
+            )
+            logger.info(
+                "group %s: %d servers drifted from intended frozen set "
+                "at t=%.0fs; replanning from authoritative state",
+                state.group.name,
+                len(drift),
+                now,
             )
 
     def _degraded_hold(
@@ -413,7 +520,7 @@ class AmpereController:
         the reactive capping net handle true excursions until monitoring
         recovers.
         """
-        self.health.degraded_ticks += 1
+        self.health.bump("degraded_ticks")
         self.health.note(
             now,
             "degraded",
@@ -421,11 +528,20 @@ class AmpereController:
             f"latest sample is {age:.0f}s old "
             f"(limit {self.config.max_staleness_seconds:.0f}s); holding frozen set",
         )
+        logger.warning(
+            "group %s: degraded mode at t=%.0fs (sample %.0fs old, limit %.0fs); "
+            "holding frozen set",
+            state.group.name,
+            now,
+            age,
+            self.config.max_staleness_seconds,
+        )
         held = set(currently_frozen)
         for server_id in sorted(state.intended_frozen - currently_frozen):
             if self._rpc(state, "freeze", server_id, now):
                 held.add(server_id)
                 state.freeze_actions += 1
+                self._row_instruments[state.group.name]["freezes"].inc()
         state.intended_frozen = frozenset(held | state.intended_frozen)
         state.u_history.append(len(held) / len(state.group.servers))
         state.u_times.append(now)
@@ -440,8 +556,11 @@ class AmpereController:
 
     def _skip_tick(self, state: RowControlState, now: float, reason: str) -> None:
         """Refuse to act on a degenerate observation (logged, counted)."""
-        self.health.skipped_ticks += 1
+        self.health.bump("skipped_ticks")
         self.health.note(now, "skipped", state.group.name, reason)
+        logger.warning(
+            "group %s: tick skipped at t=%.0fs (%s)", state.group.name, now, reason
+        )
         state._last_prediction = None
 
     def _rpc(
@@ -468,7 +587,7 @@ class AmpereController:
                 elapsed += error.latency_seconds
                 out_of_budget = elapsed + backoff > config.rpc_deadline_seconds
                 if attempt >= config.rpc_max_attempts or out_of_budget:
-                    self.health.rpc_giveups += 1
+                    self.health.bump("rpc_giveups")
                     self.health.note(
                         now,
                         "rpc_giveup",
@@ -476,8 +595,18 @@ class AmpereController:
                         f"{action}({server_id}) failed {attempt}x"
                         + ("; deadline" if out_of_budget else ""),
                     )
+                    logger.warning(
+                        "group %s: gave up on %s(%d) after %d attempts at "
+                        "t=%.0fs%s",
+                        state.group.name,
+                        action,
+                        server_id,
+                        attempt,
+                        now,
+                        "; deadline exhausted" if out_of_budget else "",
+                    )
                     return False
-                self.health.rpc_retries += 1
+                self.health.bump("rpc_retries")
                 elapsed += backoff
                 backoff *= 2.0
             else:
@@ -488,26 +617,31 @@ class AmpereController:
         """The RHC control: SPCP closed form, or N-step PCP for horizon > 1."""
         config = self.config
         k_r = self.freeze_model.k_r
-        if config.horizon == 1:
-            return spcp_optimal_ratio(
-                p_norm,
-                self.demand_estimator.estimate(now),
-                k_r,
-                p_m=config.control_target,
-                u_max=config.u_max,
+        with self.telemetry.span("rhc.decide", horizon=config.horizon):
+            if config.horizon == 1:
+                return spcp_optimal_ratio(
+                    p_norm,
+                    self.demand_estimator.estimate(now),
+                    k_r,
+                    p_m=config.control_target,
+                    u_max=config.u_max,
+                )
+            e_sequence = self.demand_estimator.estimate_sequence(
+                now, config.horizon, config.control_interval
             )
-        e_sequence = self.demand_estimator.estimate_sequence(
-            now, config.horizon, config.control_interval
-        )
-        try:
-            controls = pcp_optimal_sequence(
-                p_norm, e_sequence, k_r, p_m=config.control_target, u_max=config.u_max
-            )
-        except ValueError:
-            # Infeasible within the ceiling: saturate, exactly as the
-            # paper's controller does against the 50% operational limit.
-            return config.u_max
-        return controls[0]
+            try:
+                controls = pcp_optimal_sequence(
+                    p_norm,
+                    e_sequence,
+                    k_r,
+                    p_m=config.control_target,
+                    u_max=config.u_max,
+                )
+            except ValueError:
+                # Infeasible within the ceiling: saturate, exactly as the
+                # paper's controller does against the 50% operational limit.
+                return config.u_max
+            return controls[0]
 
     # ------------------------------------------------------------------
     def state_of(self, group_name: str) -> RowControlState:

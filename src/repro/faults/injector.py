@@ -9,6 +9,7 @@ control action. Everything is deterministic for a fixed scenario seed.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -23,6 +24,8 @@ from repro.sim.events import EventPriority
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.controller import AmpereController
     from repro.monitor.power_monitor import PowerMonitor
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,11 @@ class FaultInjector:
     def _begin_blackout(self) -> None:
         assert self.monitor is not None
         self.blackouts_injected += 1
+        logger.info(
+            "injecting monitoring blackout #%d at t=%.0fs",
+            self.blackouts_injected,
+            self.engine.now,
+        )
         self.monitor.begin_outage()
 
     def _end_blackout(self) -> None:
@@ -121,6 +129,11 @@ class FaultInjector:
     def _crash(self) -> None:
         assert self.controller is not None
         self.crashes_injected += 1
+        logger.info(
+            "injecting controller crash #%d at t=%.0fs",
+            self.crashes_injected,
+            self.engine.now,
+        )
         self.controller.crash()
 
     def _restart(self) -> None:

@@ -10,11 +10,15 @@ reading through a failed poll) is actually exercised.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.cluster.server import Server
+from repro.telemetry import Telemetry
+
+logger = logging.getLogger(__name__)
 
 
 class BmcEndpoint:
@@ -93,6 +97,8 @@ class IpmiFleet:
         noise_sigma: float = 0.01,
         failure_rate: float = 0.001,
         max_fallback_polls: int = 5,
+        telemetry: Optional[Telemetry] = None,
+        group: str = "",
     ) -> None:
         if max_fallback_polls < 0:
             raise ValueError(
@@ -114,19 +120,49 @@ class IpmiFleet:
         self.stale_ids: set = set()
         self.fallbacks_used = 0
         self.stale_reads = 0
+        tel = telemetry if telemetry is not None else Telemetry.disabled()
+        labels = {"group": group} if group else None
+        self._polls_counter = tel.counter(
+            "repro_ipmi_polls_total", "BMC power polls issued", labels
+        )
+        self._timeouts_counter = tel.counter(
+            "repro_ipmi_timeouts_total", "BMC power polls that timed out", labels
+        )
+        self._fallbacks_counter = tel.counter(
+            "repro_ipmi_fallbacks_total",
+            "Timed-out polls covered by the last known reading",
+            labels,
+        )
+        self._stale_reads_counter = tel.counter(
+            "repro_ipmi_stale_reads_total",
+            "Polls returned as NaN because the endpoint exceeded its "
+            "fallback budget",
+            labels,
+        )
 
     def poll_all(self) -> Dict[int, float]:
         readings: Dict[int, float] = {}
+        self._polls_counter.inc(len(self.endpoints))
         for server_id, endpoint in self.endpoints.items():
             value = endpoint.read_power()
             if value is None:
+                self._timeouts_counter.inc()
                 self._timeout_streak[server_id] += 1
                 if self._timeout_streak[server_id] > self.max_fallback_polls:
+                    if server_id not in self.stale_ids:
+                        logger.warning(
+                            "BMC %d exceeded %d consecutive timeouts; "
+                            "endpoint is stale",
+                            server_id,
+                            self.max_fallback_polls,
+                        )
                     self.stale_ids.add(server_id)
                     self.stale_reads += 1
+                    self._stale_reads_counter.inc()
                     value = float("nan")
                 else:
                     self.fallbacks_used += 1
+                    self._fallbacks_counter.inc()
                     value = self._last_known[server_id]
             else:
                 self._timeout_streak[server_id] = 0

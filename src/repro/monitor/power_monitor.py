@@ -12,6 +12,7 @@ the monitor is the observer that defines the paper's violation metric.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -20,6 +21,9 @@ from repro.cluster.group import ServerGroup
 from repro.monitor.tsdb import TimeSeriesDatabase
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
+from repro.telemetry import Telemetry
+
+logger = logging.getLogger(__name__)
 
 
 class PowerMonitor:
@@ -57,6 +61,7 @@ class PowerMonitor:
         rng: Optional[np.random.Generator] = None,
         store_per_server: bool = False,
         ipmi_failure_rate: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -87,6 +92,27 @@ class PowerMonitor:
         self.samples_suppressed = 0
         #: per-server readings discarded because the BMC went stale (NaN)
         self.stale_readings = 0
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else getattr(engine, "telemetry", None) or Telemetry.disabled()
+        )
+        self._sweeps_counter = self.telemetry.counter(
+            "repro_monitor_sweeps_total", "Per-minute monitor sweeps taken"
+        )
+        self._suppressed_counter = self.telemetry.counter(
+            "repro_monitor_sweeps_suppressed_total",
+            "Sweeps (or group samples) dropped during outages or all-stale reads",
+        )
+        self._stale_counter = self.telemetry.counter(
+            "repro_monitor_stale_readings_total",
+            "Per-server readings discarded because the BMC went stale",
+        )
+        self._outage_gauge = self.telemetry.gauge(
+            "repro_monitor_in_outage",
+            "1 while a monitoring blackout is in effect, else 0",
+        )
+        self._group_instruments: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     def register_group(self, group: ServerGroup) -> None:
@@ -95,6 +121,29 @@ class PowerMonitor:
             raise ValueError(f"group {group.name!r} already registered")
         self._groups[group.name] = group
         self.violations[group.name] = 0
+        labels = {"group": group.name}
+        self._group_instruments[group.name] = {
+            "power": self.telemetry.gauge(
+                "repro_monitor_group_power_watts",
+                "Latest aggregated group power reading",
+                labels,
+            ),
+            "ratio": self.telemetry.gauge(
+                "repro_monitor_group_power_ratio",
+                "Latest group power normalized to its budget P_M",
+                labels,
+            ),
+            "violations": self.telemetry.counter(
+                "repro_monitor_violations_total",
+                "Sampled minutes in which the group exceeded its budget",
+                labels,
+            ),
+            "stale_endpoints": self.telemetry.gauge(
+                "repro_monitor_stale_endpoints",
+                "BMC endpoints currently read as stale (NaN)",
+                labels,
+            ),
+        }
         if self.ipmi_failure_rate > 0:
             from repro.monitor.ipmi import IpmiFleet
 
@@ -103,6 +152,8 @@ class PowerMonitor:
                 rng=self.rng,
                 noise_sigma=self.noise_sigma,
                 failure_rate=self.ipmi_failure_rate,
+                telemetry=self.telemetry,
+                group=group.name,
             )
 
     def register_groups(self, groups: Iterable[ServerGroup]) -> None:
@@ -131,10 +182,19 @@ class PowerMonitor:
         if not self.in_outage:
             self.in_outage = True
             self.outages_begun += 1
+            self._outage_gauge.set(1.0)
+            logger.warning(
+                "monitoring blackout began at t=%.0fs (outage #%d)",
+                self.engine.now,
+                self.outages_begun,
+            )
 
     def end_outage(self) -> None:
         """Leave a monitoring blackout; the next sweep lands normally."""
+        if self.in_outage:
+            logger.info("monitoring blackout ended at t=%.0fs", self.engine.now)
         self.in_outage = False
+        self._outage_gauge.set(0.0)
 
     # ------------------------------------------------------------------
     def sample_once(self) -> None:
@@ -147,52 +207,83 @@ class PowerMonitor:
         """
         if self.in_outage:
             self.samples_suppressed += 1
+            self._suppressed_counter.inc()
             return
         now = self.engine.now
         self.samples_taken += 1
-        for group in self._groups.values():
-            fleet = self._fleets.get(group.name)
-            if fleet is not None:
-                polled = fleet.poll_all()
-                readings = np.array(
-                    [polled[s.server_id] for s in group.servers], dtype=float
-                )
-                stale = int(np.count_nonzero(~np.isfinite(readings)))
-                if stale:
-                    self.stale_readings += stale
-                    if stale == len(readings):
-                        # Every BMC stale: there is no measurement to
-                        # publish. Dropping the group sample (instead of
-                        # writing 0 W) keeps the series honest.
-                        self.samples_suppressed += 1
-                        continue
-            else:
-                true_powers = np.fromiter(
-                    (server.power_watts() for server in group.servers),
-                    dtype=float,
-                    count=len(group.servers),
-                )
-                if self.noise_sigma > 0:
-                    noise = 1.0 + self.noise_sigma * self.rng.standard_normal(
-                        len(true_powers)
+        self._sweeps_counter.inc()
+        with self.telemetry.span("monitor.sweep", groups=len(self._groups)):
+            for group in self._groups.values():
+                instruments = self._group_instruments[group.name]
+                fleet = self._fleets.get(group.name)
+                if fleet is not None:
+                    polled = fleet.poll_all()
+                    readings = np.array(
+                        [polled[s.server_id] for s in group.servers], dtype=float
                     )
-                    readings = true_powers * noise
+                    instruments["stale_endpoints"].set(len(fleet.stale_ids))
+                    stale = int(np.count_nonzero(~np.isfinite(readings)))
+                    if stale:
+                        self.stale_readings += stale
+                        self._stale_counter.inc(stale)
+                        if stale == len(readings):
+                            # Every BMC stale: there is no measurement to
+                            # publish. Dropping the group sample (instead of
+                            # writing 0 W) keeps the series honest.
+                            self.samples_suppressed += 1
+                            self._suppressed_counter.inc()
+                            logger.warning(
+                                "group %s: every BMC stale at t=%.0fs; "
+                                "sample dropped",
+                                group.name,
+                                now,
+                            )
+                            continue
                 else:
-                    readings = true_powers
-            total = float(np.nansum(readings))
-            if self.store_per_server:
-                for server, reading in zip(group.servers, readings):
-                    self.db.write(f"power/server/{server.server_id}", now, reading)
-            self.db.write(f"power/{group.name}", now, total)
-            normalized = total / group.power_budget_watts
-            self.db.write(f"power_norm/{group.name}", now, normalized)
-            if total > group.power_budget_watts:
-                self.violations[group.name] += 1
-            # Rows carry a physical breaker; evaluate it on the *true*
-            # power (a breaker doesn't care about sensor noise).
-            check_breaker = getattr(group, "check_breaker", None)
-            if check_breaker is not None and check_breaker():
-                self.breaker_trips.add(group.name)
+                    true_powers = np.fromiter(
+                        (server.power_watts() for server in group.servers),
+                        dtype=float,
+                        count=len(group.servers),
+                    )
+                    if self.noise_sigma > 0:
+                        noise = 1.0 + self.noise_sigma * self.rng.standard_normal(
+                            len(true_powers)
+                        )
+                        readings = true_powers * noise
+                    else:
+                        readings = true_powers
+                total = float(np.nansum(readings))
+                if self.store_per_server:
+                    for server, reading in zip(group.servers, readings):
+                        self.db.write(
+                            f"power/server/{server.server_id}", now, reading
+                        )
+                self.db.write(f"power/{group.name}", now, total)
+                normalized = total / group.power_budget_watts
+                self.db.write(f"power_norm/{group.name}", now, normalized)
+                instruments["power"].set(total)
+                instruments["ratio"].set(normalized)
+                if total > group.power_budget_watts:
+                    self.violations[group.name] += 1
+                    instruments["violations"].inc()
+                    logger.debug(
+                        "group %s over budget at t=%.0fs (%.0f W, ratio %.3f)",
+                        group.name,
+                        now,
+                        total,
+                        normalized,
+                    )
+                # Rows carry a physical breaker; evaluate it on the *true*
+                # power (a breaker doesn't care about sensor noise).
+                check_breaker = getattr(group, "check_breaker", None)
+                if check_breaker is not None and check_breaker():
+                    if group.name not in self.breaker_trips:
+                        logger.error(
+                            "group %s: circuit breaker tripped at t=%.0fs",
+                            group.name,
+                            now,
+                        )
+                    self.breaker_trips.add(group.name)
 
     # ------------------------------------------------------------------
     # Query API (stands in for the paper's RESTful endpoint)

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet
+from typing import Callable, Dict, FrozenSet, Optional
 
+from repro.telemetry import Telemetry
 from repro.workload.job import Job
 
 
@@ -87,4 +88,95 @@ class SchedulerInterface(abc.ABC):
         """
 
 
-__all__ = ["SchedulerInterface", "SchedulerRpcError", "SchedulerStats"]
+class InstrumentedScheduler(SchedulerInterface):
+    """Transparent telemetry proxy over any :class:`SchedulerInterface`.
+
+    Sits outermost in the controller-facing stack (instrumentation wraps
+    the fault layer, when one is configured), so it observes exactly
+    what the controller experiences: every freeze/unfreeze intent,
+    including the ones a flaky transport rejects. Each call records
+
+    - ``repro_scheduler_rpc_total{op}`` / ``repro_scheduler_rpc_errors_total{op}``,
+    - a ``repro_scheduler_rpc_latency_seconds{op}`` histogram of the
+      *modeled* RPC latency (the fault layer's configured latency on
+      success, the timeout charged by :class:`SchedulerRpcError` on
+      failure) -- sim-deterministic, so it merges across campaign
+      workers,
+    - a ``scheduler.rpc`` span carrying the wall-clock cost.
+
+    Reads (``frozen_server_ids``) and ``submit`` pass through untouched:
+    the instrumented surface is the control path, mirroring the fault
+    layer's scope.
+    """
+
+    def __init__(
+        self, inner: SchedulerInterface, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.inner = inner
+        tel = telemetry if telemetry is not None else Telemetry.disabled()
+        self._telemetry = tel
+        self._calls = {
+            op: tel.counter(
+                "repro_scheduler_rpc_total",
+                "freeze/unfreeze RPCs issued by the control plane",
+                {"op": op},
+            )
+            for op in ("freeze", "unfreeze")
+        }
+        self._errors = {
+            op: tel.counter(
+                "repro_scheduler_rpc_errors_total",
+                "freeze/unfreeze RPCs that raised SchedulerRpcError",
+                {"op": op},
+            )
+            for op in ("freeze", "unfreeze")
+        }
+        self._latency = {
+            op: tel.histogram(
+                "repro_scheduler_rpc_latency_seconds",
+                "Modeled RPC latency of freeze/unfreeze calls "
+                "(timeout cost on failure)",
+                {"op": op},
+            )
+            for op in ("freeze", "unfreeze")
+        }
+
+    # ------------------------------------------------------------------
+    # SchedulerInterface
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        self.inner.submit(job)
+
+    def freeze(self, server_id: int) -> None:
+        self._call("freeze", server_id, self.inner.freeze)
+
+    def unfreeze(self, server_id: int) -> None:
+        self._call("unfreeze", server_id, self.inner.unfreeze)
+
+    def frozen_server_ids(self) -> FrozenSet[int]:
+        return self.inner.frozen_server_ids()
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, op: str, server_id: int, call: Callable[[int], None]
+    ) -> None:
+        self._calls[op].inc()
+        with self._telemetry.span("scheduler.rpc", op=op, server_id=server_id):
+            try:
+                call(server_id)
+            except SchedulerRpcError as error:
+                self._errors[op].inc()
+                self._latency[op].observe(error.latency_seconds)
+                raise
+        # Successful calls cost the transport's modeled latency when the
+        # inner layer models one (the fault layer does), else 0.
+        self._latency[op].observe(getattr(self.inner, "latency_seconds", 0.0))
+
+
+__all__ = [
+    "InstrumentedScheduler",
+    "SchedulerInterface",
+    "SchedulerRpcError",
+    "SchedulerStats",
+]
+

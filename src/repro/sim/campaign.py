@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.faults.scenario import FaultScenario
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
+from repro.telemetry import MetricsRegistry
 
 CellCallback = Callable[["CampaignCell", "CampaignRow"], None]
 
@@ -65,6 +66,9 @@ class CampaignRunConfig:
     #: control-plane fault schedule applied identically to every cell
     #: (the fault-sweep experiments run one campaign per scenario)
     faults: Optional[FaultScenario] = None
+    #: collect per-cell metrics registries (merged campaign-wide via
+    #: :meth:`CampaignResult.merged_telemetry`)
+    telemetry: bool = False
 
 
 #: Canonical column order of a campaign row record. ``save_csv`` writes
@@ -100,6 +104,11 @@ class CampaignRow:
     g_tpw: float
     violations: int
     error: Optional[str] = None
+    #: the cell's metrics registry (None unless the run config enabled
+    #: telemetry). Deliberately excluded from :meth:`as_record`: records
+    #: are flat Table 3 rows; registries aggregate via
+    #: :meth:`CampaignResult.merged_telemetry`.
+    telemetry: Optional[MetricsRegistry] = None
 
     @property
     def ok(self) -> bool:
@@ -153,6 +162,7 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         workload=cell.workload,
         seed=cell.seed,
         faults=config.faults,
+        telemetry_enabled=config.telemetry,
     )
     outcome = ControlledExperiment(experiment_config).run()
     summary = outcome.experiment.summary
@@ -164,6 +174,7 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         r_t=outcome.r_t,
         g_tpw=outcome.g_tpw,
         violations=summary.violations,
+        telemetry=outcome.telemetry,
     )
 
 
@@ -191,6 +202,19 @@ class CampaignResult:
         if workload is not None:
             out = [r for r in out if r.cell.workload_name == workload]
         return out
+
+    def merged_telemetry(self) -> Optional[MetricsRegistry]:
+        """One campaign-wide registry: every cell's registry merged.
+
+        Merging always happens in *cell order* (``self.rows`` order), so
+        serial and parallel runs -- which both return rows in cell order
+        -- produce byte-identical merged snapshots. Returns ``None``
+        when no row carries a registry (telemetry was off).
+        """
+        registries = [r.telemetry for r in self.rows if r.telemetry is not None]
+        if not registries:
+            return None
+        return MetricsRegistry.merged(registries)
 
     def mean_gtpw(self, r_o: float, workload: Optional[str] = None) -> float:
         rows = [r for r in self.filter(r_o=r_o, workload=workload) if r.ok]
@@ -244,6 +268,7 @@ class Campaign:
         duration_hours: float = 12.0,
         warmup_hours: float = 1.0,
         faults: Optional[FaultScenario] = None,
+        telemetry: bool = False,
     ) -> None:
         if not ratios:
             raise ValueError("campaign needs at least one over-provision ratio")
@@ -266,6 +291,7 @@ class Campaign:
             duration_hours=duration_hours,
             warmup_hours=warmup_hours,
             faults=faults,
+            telemetry=telemetry,
         )
 
     # Backwards-compatible views of the per-cell configuration.

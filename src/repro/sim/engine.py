@@ -17,6 +17,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventPriority
+from repro.telemetry import Telemetry
 
 Callback = Callable[..., None]
 
@@ -57,12 +58,30 @@ class Engine:
     5.0
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, telemetry: Optional[Telemetry] = None
+    ) -> None:
         self._now = float(start_time)
         self._heap: list = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        # The engine drives the run, so it owns the sim-clock binding;
+        # instruments resolve here once and the run loop only touches
+        # pre-resolved handles (no-ops when telemetry is disabled).
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.telemetry.bind_sim_clock(lambda: self._now)
+        self._events_counter = self.telemetry.counter(
+            "repro_engine_events_total", "Event callbacks executed by the engine"
+        )
+        self._queue_depth_gauge = self.telemetry.gauge(
+            "repro_engine_queue_depth",
+            "Pending heap entries (including lazily-cancelled ones)",
+        )
+        self._cancelled_counter = self.telemetry.counter(
+            "repro_engine_cancelled_events_total",
+            "Heap entries skipped because their handle was cancelled",
+        )
 
     @property
     def now(self) -> float:
@@ -149,19 +168,27 @@ class Engine:
         if self._running:
             raise RuntimeError("engine is already running (re-entrant run())")
         self._running = True
+        started = self._events_processed
         try:
-            while self._heap:
-                time, _priority, _seq, handle, callback, args = self._heap[0]
-                if until is not None and time >= until:
-                    break
-                heapq.heappop(self._heap)
-                if handle.cancelled:
-                    continue
-                self._now = time
-                callback(*args)
-                self._events_processed += 1
-            if until is not None and until > self._now:
-                self._now = until
+            with self.telemetry.span("engine.run") as span:
+                while self._heap:
+                    time, _priority, _seq, handle, callback, args = self._heap[0]
+                    if until is not None and time >= until:
+                        break
+                    heapq.heappop(self._heap)
+                    if handle.cancelled:
+                        self._cancelled_counter.inc()
+                        continue
+                    self._now = time
+                    callback(*args)
+                    self._events_processed += 1
+                    self._events_counter.inc()
+                    self._queue_depth_gauge.set(len(self._heap))
+                if until is not None and until > self._now:
+                    self._now = until
+                span.set_attribute(
+                    "events_processed", self._events_processed - started
+                )
         finally:
             self._running = False
 

@@ -17,6 +17,8 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.cluster.server import Server
 from repro.sim.engine import Engine
+from repro.telemetry import Telemetry
+from repro.telemetry.bridge import control_event_counter
 
 KNOWN_KINDS = ("freeze", "unfreeze", "fail", "repair", "cap", "uncap")
 
@@ -34,9 +36,19 @@ class ControlEvent:
 class ControlEventLog:
     """Time-ordered record of every control action."""
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(
+        self, engine: Engine, telemetry: Optional[Telemetry] = None
+    ) -> None:
         self.engine = engine
         self.events: List[ControlEvent] = []
+        tel = (
+            telemetry
+            if telemetry is not None
+            else getattr(engine, "telemetry", None) or Telemetry.disabled()
+        )
+        self._kind_counters = {
+            kind: control_event_counter(tel, kind) for kind in KNOWN_KINDS
+        }
 
     def __len__(self) -> int:
         return len(self.events)
@@ -47,6 +59,7 @@ class ControlEventLog:
     def record(self, kind: str, server_id: int, detail: str = "") -> None:
         if kind not in KNOWN_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
+        self._kind_counters[kind].inc()
         self.events.append(
             ControlEvent(self.engine.now, kind, server_id, detail)
         )
@@ -62,6 +75,7 @@ class ControlEventLog:
 
     def _on_frequency_change(self, server: Server, old: float, new: float) -> None:
         kind = "cap" if new < old else "uncap"
+        self._kind_counters[kind].inc()
         self.events.append(
             ControlEvent(
                 self.engine.now, kind, server.server_id, f"{old:.2f}->{new:.2f}"

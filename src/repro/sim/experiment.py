@@ -39,9 +39,10 @@ from repro.core.demand import ConstantDemandEstimator, DemandEstimator
 from repro.core.freeze_model import DEFAULT_K_R, FreezeEffectModel
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.scenario import FaultScenario
-from repro.scheduler.base import SchedulerInterface
+from repro.scheduler.base import InstrumentedScheduler, SchedulerInterface
 from repro.scheduler.policies import PlacementPolicy
 from repro.sim.testbed import Testbed, WorkloadSpec
+from repro.telemetry import MetricsRegistry, Telemetry
 
 SECONDS_PER_HOUR = 3600.0
 
@@ -66,6 +67,9 @@ class ExperimentConfig:
     seed: int = 0
     #: control-plane fault schedule (None = the perfect control plane)
     faults: Optional[FaultScenario] = None
+    #: collect metrics and spans for this run (off by default; the
+    #: disabled path is a shared no-op and never perturbs trajectories)
+    telemetry_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -139,6 +143,9 @@ class ExperimentResult:
     fault_stats: Optional[FaultStats] = None
     #: the controller's defensive-action telemetry (None when disabled)
     controller_health: Optional[ControllerHealth] = None
+    #: metrics registry of the run (None unless ``telemetry_enabled``);
+    #: holds only sim-deterministic series, so it pickles and merges
+    telemetry: Optional[MetricsRegistry] = None
 
     def violations(self) -> dict:
         return {
@@ -165,11 +172,15 @@ class ControlledExperiment:
         demand_estimator: Optional[DemandEstimator] = None,
     ) -> None:
         self.config = config
+        self.telemetry = (
+            Telemetry.create() if config.telemetry_enabled else Telemetry.disabled()
+        )
         self.testbed = Testbed(
             n_servers=config.n_servers,
             seed=config.seed,
             monitor_noise_sigma=config.monitor_noise_sigma,
             placement_policy=config.placement_policy,
+            telemetry=self.telemetry,
         )
         self.experiment_group, self.control_group = self.testbed.split_by_parity()
         self.experiment_group.set_over_provision_ratio(config.over_provision_ratio)
@@ -193,6 +204,12 @@ class ControlledExperiment:
                 self.testbed.scheduler
             )
             self.injector.attach_monitor(self.testbed.monitor)
+        # Instrumentation wraps the fault layer so the RPC metrics see
+        # exactly what the controller experiences, including injected
+        # failures. A no-op when telemetry is disabled.
+        controller_scheduler = InstrumentedScheduler(
+            controller_scheduler, self.telemetry
+        )
 
         self.controller: Optional[AmpereController] = None
         if config.ampere_enabled:
@@ -208,6 +225,7 @@ class ControlledExperiment:
                     if demand_estimator is not None
                     else ConstantDemandEstimator(config.ampere.default_e_t)
                 ),
+                telemetry=self.telemetry,
             )
         if self.injector is not None and self.controller is not None:
             self.injector.attach_controller(self.controller)
@@ -264,6 +282,7 @@ class ControlledExperiment:
             controller_health=(
                 self.controller.health if self.controller is not None else None
             ),
+            telemetry=self.telemetry.registry if self.telemetry.enabled else None,
         )
 
     def _collect_group(

@@ -29,6 +29,7 @@ units, lightweight row records back, deterministic re-assembly.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -39,6 +40,8 @@ from repro.sim.campaign import (
     CampaignRunConfig,
     run_cell,
 )
+
+logger = logging.getLogger(__name__)
 
 #: ``runner(cell, config) -> CampaignRow``; must be a picklable
 #: module-level callable (workers import it by reference).
@@ -149,6 +152,10 @@ def run_cells_parallel(
                     # The pool may be unusable now; run the chunk in-process
                     # so the campaign still completes deterministically.
                     pool_broken = True
+                    logger.warning(
+                        "process pool broke; running %d cell(s) in-process",
+                        len(chunk),
+                    )
                     items = _execute_chunk(cell_runner, config, chunk)
                 for index, row, error in items:
                     if error is None:
@@ -156,6 +163,13 @@ def run_cells_parallel(
                         continue
                     attempts[index] = attempts.get(index, 0) + 1
                     if attempts[index] <= retries and not pool_broken:
+                        logger.info(
+                            "cell %s failed (%s); retry %d/%d",
+                            cells[index].label(),
+                            error,
+                            attempts[index],
+                            retries,
+                        )
                         retry_chunk = [(index, cells[index])]
                         pending[
                             pool.submit(
@@ -163,6 +177,11 @@ def run_cells_parallel(
                             )
                         ] = retry_chunk
                     else:
+                        logger.warning(
+                            "cell %s failed permanently: %s",
+                            cells[index].label(),
+                            error,
+                        )
                         record(index, CampaignRow.failed(cells[index], error))
 
     # Completion order is nondeterministic; cell order is the contract.

@@ -22,6 +22,7 @@ from repro.monitor.tsdb import TimeSeriesDatabase
 from repro.scheduler.omega import OmegaScheduler
 from repro.scheduler.policies import PlacementPolicy
 from repro.sim.engine import Engine
+from repro.telemetry import Telemetry
 from repro.workload.distributions import (
     JobDurationDistribution,
     ResourceDemandDistribution,
@@ -197,13 +198,15 @@ class Testbed:
         monitor_noise_sigma: float = 0.01,
         placement_policy: Optional[PlacementPolicy] = None,
         store_per_server_power: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if n_servers % self.SERVERS_PER_RACK != 0:
             raise ValueError(
                 f"n_servers must be a multiple of {self.SERVERS_PER_RACK}, got {n_servers}"
             )
         self.seed = seed
-        self.engine = Engine()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.engine = Engine(telemetry=self.telemetry)
         self.row: Row = build_row(
             0,
             racks=n_servers // self.SERVERS_PER_RACK,
@@ -229,6 +232,7 @@ class Testbed:
             noise_sigma=monitor_noise_sigma,
             rng=np.random.default_rng(monitor_seed),
             store_per_server=store_per_server_power,
+            telemetry=self.telemetry,
         )
         self._workload_rng = np.random.default_rng(workload_seed)
         self._modulation_seed = int(modulation_seed.generate_state(1)[0])

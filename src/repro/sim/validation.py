@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.analysis.stats import pearson_correlation
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig

@@ -1,0 +1,176 @@
+"""``repro.telemetry`` -- unified metrics, tracing and exposition.
+
+The control plane's observability subsystem, built from three parts:
+
+- :mod:`~repro.telemetry.registry` -- counters, gauges and fixed-bucket
+  histograms in one picklable, mergeable :class:`MetricsRegistry`.
+- :mod:`~repro.telemetry.tracing` -- per-tick spans (``monitor.sweep``,
+  ``controller.tick``, ``rhc.decide``, ``scheduler.rpc``) carrying both
+  sim-time and wall-time durations in a ring-buffer store.
+- :mod:`~repro.telemetry.exposition` -- Prometheus text format and
+  canonical JSON snapshots.
+
+Components receive a :class:`Telemetry` facade. There is exactly one
+disabled instance (:func:`Telemetry.disabled`): it hands out shared
+no-op instruments and null spans, so uninstrumented-by-configuration
+runs pay one empty method call per record site and produce bit-identical
+trajectories to instrumented ones -- telemetry observes the simulation,
+it never participates in it.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from repro.telemetry.exposition import (
+    registry_from_snapshot,
+    render_json,
+    render_prometheus,
+    save_snapshot,
+    snapshot,
+)
+from repro.telemetry.registry import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+)
+from repro.telemetry.tracing import NULL_SPAN, NullTracer, SpanRecord, Tracer
+
+
+class Telemetry:
+    """One run's telemetry surface: a registry plus a tracer.
+
+    Use :meth:`create` for an enabled instance and :meth:`disabled` for
+    the shared no-op one; components should accept either and call the
+    same methods unconditionally.
+    """
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool,
+        registry: Optional[MetricsRegistry],
+        tracer: Union[Tracer, NullTracer],
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry
+        self.tracer = tracer
+
+    @classmethod
+    def create(cls, trace_capacity: int = 8192) -> "Telemetry":
+        return cls(True, MetricsRegistry(), Tracer(capacity=trace_capacity))
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The process-wide no-op instance."""
+        return _DISABLED
+
+    # ------------------------------------------------------------------
+    # Instruments (resolve once, record many)
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ):
+        if not self.enabled:
+            return NULL_COUNTER
+        return self.registry.counter(name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ):
+        if not self.enabled:
+            return NULL_GAUGE
+        return self.registry.gauge(name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ):
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self.registry.histogram(name, help_text, labels, buckets)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object):
+        return self.tracer.span(name, **attributes)
+
+    def bind_sim_clock(self, clock: Callable[[], float]) -> None:
+        self.tracer.bind_sim_clock(clock)
+
+
+_DISABLED = Telemetry(False, None, NullTracer())
+
+
+def configure_logging(
+    level: Union[str, int] = "warning", stream=None, force: bool = False
+) -> None:
+    """Wire the ``repro`` logger hierarchy to a stream handler.
+
+    The library itself only attaches a ``NullHandler`` (in
+    ``repro/__init__``), per stdlib convention; applications -- the CLI,
+    tests, notebooks -- call this to actually see log lines. Repeated
+    calls are idempotent unless ``force`` replaces the handler.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = numeric
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    stream_handlers = [
+        h for h in logger.handlers if isinstance(h, logging.StreamHandler)
+    ]
+    if stream_handlers and not force:
+        for handler in stream_handlers:
+            handler.setLevel(level)
+        return
+    for handler in stream_handlers:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullTracer",
+    "SpanRecord",
+    "Telemetry",
+    "Tracer",
+    "configure_logging",
+    "registry_from_snapshot",
+    "render_json",
+    "render_prometheus",
+    "save_snapshot",
+    "snapshot",
+]

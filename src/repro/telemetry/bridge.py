@@ -1,0 +1,90 @@
+"""Bridges from the pre-telemetry observability APIs onto the registry.
+
+PR 2 gave the controller a bespoke :class:`ControllerHealth` dataclass
+and the simulator has long had :class:`ControlEventLog` as its audit
+trail. Both APIs survive -- tests and reports consume them -- but their
+numbers now also land in the metrics registry, making the registry the
+one surface exposition reads. This module holds the mapping:
+
+- every ``ControllerHealth`` counter mirrors into
+  ``repro_controller_health_total{kind=...}``;
+- every ``ControlEventLog`` record mirrors into
+  ``repro_control_events_total{kind=...}``.
+
+``health_summary_from_registry`` reads the mirrored counters back into
+the exact dict :meth:`ControllerHealth.summary` produces, which is how
+the tests pin the two surfaces together.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
+
+HEALTH_COUNTER = "repro_controller_health_total"
+HEALTH_COUNTER_HELP = (
+    "Defensive actions of the hardened control loop, by kind "
+    "(mirrors ControllerHealth.summary())"
+)
+
+CONTROL_EVENTS_COUNTER = "repro_control_events_total"
+CONTROL_EVENTS_HELP = (
+    "Control-plane actions recorded by the audit event log, by kind"
+)
+
+#: the scalar counters of ControllerHealth.summary(), in summary order
+HEALTH_KINDS = (
+    "degraded_ticks",
+    "skipped_ticks",
+    "rpc_retries",
+    "rpc_giveups",
+    "reconciliations",
+    "reconciliation_diff_total",
+    "crashes",
+    "recoveries",
+)
+
+
+def health_counters(telemetry: "Telemetry") -> Dict[str, object]:
+    """One registry counter per ControllerHealth scalar, keyed by kind.
+
+    With disabled telemetry these are the shared no-op counters, so
+    :meth:`ControllerHealth.bump` stays branch-free.
+    """
+    return {
+        kind: telemetry.counter(
+            HEALTH_COUNTER, HEALTH_COUNTER_HELP, labels={"kind": kind}
+        )
+        for kind in HEALTH_KINDS
+    }
+
+
+def health_summary_from_registry(registry: MetricsRegistry) -> Dict[str, int]:
+    """Rebuild ``ControllerHealth.summary()`` from the mirrored counters."""
+    return {
+        kind: int(registry.value(HEALTH_COUNTER, {"kind": kind}) or 0)
+        for kind in HEALTH_KINDS
+    }
+
+
+def control_event_counter(telemetry: "Telemetry", kind: str):
+    """The registry counter mirroring one event-log kind."""
+    return telemetry.counter(
+        CONTROL_EVENTS_COUNTER, CONTROL_EVENTS_HELP, labels={"kind": kind}
+    )
+
+
+__all__ = [
+    "CONTROL_EVENTS_COUNTER",
+    "CONTROL_EVENTS_HELP",
+    "HEALTH_COUNTER",
+    "HEALTH_COUNTER_HELP",
+    "HEALTH_KINDS",
+    "control_event_counter",
+    "health_counters",
+    "health_summary_from_registry",
+]

@@ -1,0 +1,147 @@
+"""Exposition: Prometheus text format and JSON snapshots of a registry.
+
+Both exports are *canonical*: families in sorted-name order, series in
+sorted-label order, floats rendered with ``repr`` so equal registries
+produce byte-identical documents. The campaign determinism tests lean on
+this -- "serial and parallel merged snapshots are identical" is asserted
+on these rendered forms, not on object graphs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.telemetry.registry import (
+    COUNTER,
+    GAUGE,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering (integers without the dot)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.children):
+            child = family.children[key]
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                bounds = [*child.uppers, float("inf")]
+                for upper, count in zip(bounds, cumulative):
+                    le_label = 'le="' + _format_value(upper) + '"'
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(key, le_label)} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(key)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(key)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(key)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Canonical plain-dict form of a registry (the JSON export)."""
+    doc: Dict[str, Any] = {}
+    for family in registry.families():
+        series: List[Dict[str, Any]] = []
+        for key in sorted(family.children):
+            child = family.children[key]
+            entry: Dict[str, Any] = {"labels": {k: v for k, v in key}}
+            if isinstance(child, Histogram):
+                entry["buckets"] = list(child.uppers)
+                entry["bucket_counts"] = list(child.bucket_counts)
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+            else:
+                entry["value"] = child.value
+            series.append(entry)
+        doc[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "series": series,
+        }
+    return doc
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The snapshot as deterministic JSON text."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
+
+
+def save_snapshot(registry: MetricsRegistry, path: Union[str, Path]) -> None:
+    Path(path).write_text(render_json(registry) + "\n")
+
+
+def registry_from_snapshot(doc: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a registry from :func:`snapshot` output.
+
+    Archived snapshots become live registries again, so campaign-level
+    aggregation can merge stored runs with fresh ones.
+    """
+    registry = MetricsRegistry()
+    for name in sorted(doc):
+        family_doc = doc[name]
+        kind = family_doc["kind"]
+        for entry in family_doc["series"]:
+            labels = entry.get("labels") or None
+            if kind == COUNTER:
+                registry.counter(name, family_doc.get("help", ""), labels).inc(
+                    entry["value"]
+                )
+            elif kind == GAUGE:
+                registry.gauge(name, family_doc.get("help", ""), labels).set(
+                    entry["value"]
+                )
+            else:
+                histogram = registry.histogram(
+                    name,
+                    family_doc.get("help", ""),
+                    labels,
+                    buckets=entry["buckets"],
+                )
+                histogram.bucket_counts = list(entry["bucket_counts"])
+                histogram.sum = entry["sum"]
+                histogram.count = entry["count"]
+    return registry
+
+
+__all__ = [
+    "registry_from_snapshot",
+    "render_json",
+    "render_prometheus",
+    "save_snapshot",
+    "snapshot",
+]

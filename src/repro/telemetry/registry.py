@@ -1,0 +1,352 @@
+"""Metric instruments and the registry that owns them.
+
+The registry is the control plane's single metrics surface: every
+component records counters, gauges and fixed-bucket histograms into one
+:class:`MetricsRegistry`, labeled by row/rack/component, and everything
+downstream (Prometheus exposition, JSON snapshots, campaign-level
+aggregation) reads from it.
+
+Three properties shape the design:
+
+- **Cheap enough to be always-on.** An instrument is resolved once (at
+  construction time of the instrumented component) and recording is one
+  attribute update -- no name parsing, no label hashing on the hot path.
+  When telemetry is disabled the same call sites receive shared no-op
+  instruments (:data:`NULL_COUNTER` and friends), so disabling telemetry
+  costs one empty method call and changes *nothing* else.
+- **Deterministic content.** Only simulation-derived quantities go into
+  the registry (sim-time durations, seeded-noise readings, event
+  counts). Wall-clock timings live in the span tracer
+  (:mod:`repro.telemetry.tracing`), which is per-process diagnostic
+  state and never crosses the campaign worker boundary. This is what
+  lets serial and parallel campaign runs produce byte-identical merged
+  snapshots.
+- **Picklable and mergeable.** A registry is plain dicts of plain
+  scalars; it crosses a ``ProcessPoolExecutor`` boundary like any other
+  campaign record, and :meth:`MetricsRegistry.merge` folds per-cell
+  registries into one campaign-level registry (counters and histograms
+  add; gauges take the last merged value, which is deterministic because
+  campaigns always merge in cell order).
+
+Metric names follow the Prometheus convention used throughout the
+repository: ``repro_<component>_<what>[_<unit>][_total]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: canonical label form: sorted ``(key, value)`` pairs
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default histogram buckets (seconds) -- spans sub-millisecond RPCs up
+#: to multi-second timeouts, the range the control plane actually sees
+DEFAULT_TIME_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, errors, ticks)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depth, stale-endpoint count)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (latencies, durations, batch sizes).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest. ``bucket_counts`` are per-bucket (non-cumulative) internally
+    and cumulated only at exposition time, which keeps ``observe`` to a
+    single list update.
+    """
+
+    __slots__ = ("uppers", "bucket_counts", "sum", "count")
+
+    def __init__(self, uppers: Sequence[float]) -> None:
+        cleaned = tuple(float(u) for u in uppers)
+        if not cleaned:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(cleaned) != sorted(cleaned):
+            raise ValueError(f"bucket bounds must be sorted, got {cleaned}")
+        self.uppers = cleaned
+        self.bucket_counts = [0] * (len(cleaned) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, upper in enumerate(self.uppers):
+            if value <= upper:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (ends at ``count``)."""
+        out: List[int] = []
+        running = 0
+        for n in self.bucket_counts:
+            running += n
+            out.append(running)
+        return out
+
+
+class NullCounter:
+    """Shared no-op counter handed out by disabled telemetry."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricFamily:
+    """All series of one metric name: kind, help text and labeled children."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: Dict[LabelKey, object] = {}
+
+    def child(self, key: LabelKey):
+        existing = self.children.get(key)
+        if existing is not None:
+            return existing
+        if self.kind == COUNTER:
+            made: object = Counter()
+        elif self.kind == GAUGE:
+            made = Gauge()
+        else:
+            made = Histogram(self.buckets or DEFAULT_TIME_BUCKETS)
+        self.children[key] = made
+        return made
+
+
+class MetricsRegistry:
+    """Owner of every metric family; picklable, mergeable, exportable."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument resolution (construction-time, not hot-path)
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help_text, buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"cannot re-register as {kind}"
+            )
+        if kind == HISTOGRAM and buckets is not None and family.buckets != buckets:
+            raise ValueError(
+                f"metric {name!r} already registered with buckets "
+                f"{family.buckets}, got {buckets}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._family(name, COUNTER, help_text).child(_label_key(labels))
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._family(name, GAUGE, help_text).child(_label_key(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._family(name, HISTOGRAM, help_text, tuple(buckets)).child(
+            _label_key(labels)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def families(self) -> List[MetricFamily]:
+        """Families in sorted-name order (the canonical export order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str, labels: Optional[Mapping[str, str]] = None):
+        """The live instrument for ``name``/``labels`` or ``None``."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.children.get(_label_key(labels))
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[float]:
+        """Scalar value of a counter/gauge series (``None`` if absent)."""
+        instrument = self.get(name, labels)
+        if instrument is None or isinstance(instrument, Histogram):
+            return None
+        return instrument.value
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    # Merge (the campaign worker boundary)
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters and histograms add; gauges take ``other``'s value (the
+        merge is performed in cell order by both the serial and the
+        parallel campaign paths, so the result is deterministic).
+        """
+        for name in sorted(other._families):
+            theirs = other._families[name]
+            family = self._family(name, theirs.kind, theirs.help, theirs.buckets)
+            for key in sorted(theirs.children):
+                child = theirs.children[key]
+                mine = family.child(key)
+                if theirs.kind == COUNTER:
+                    mine.value += child.value  # type: ignore[union-attr]
+                elif theirs.kind == GAUGE:
+                    mine.value = child.value  # type: ignore[union-attr]
+                else:
+                    assert isinstance(child, Histogram)
+                    assert isinstance(mine, Histogram)
+                    if mine.uppers != child.uppers:
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}: bucket bounds "
+                            f"differ ({mine.uppers} vs {child.uppers})"
+                        )
+                    for i, n in enumerate(child.bucket_counts):
+                        mine.bucket_counts[i] += n
+                    mine.sum += child.sum
+                    mine.count += child.count
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry holding the in-order merge of ``registries``."""
+        out = cls()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
+
+__all__ = [
+    "COUNTER",
+    "DEFAULT_TIME_BUCKETS",
+    "GAUGE",
+    "HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelKey",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+]

@@ -1,7 +1,6 @@
 """Additional cross-cutting coverage: routing, isolation, and edge paths."""
 
 import numpy as np
-import pytest
 
 from repro.scheduler.omega import Framework, OmegaScheduler
 from repro.scheduler.policies import BestFitPolicy, LeastLoadedPolicy

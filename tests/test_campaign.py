@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.sim.campaign import Campaign, CampaignCell, CampaignResult, CampaignRow
+from repro.sim.campaign import Campaign, CampaignResult, CampaignRow
 from repro.sim.testbed import WorkloadSpec
 
 

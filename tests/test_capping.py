@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster.capping import CappingEngine
 from repro.cluster.group import ServerGroup
-from repro.sim.engine import Engine
 from repro.workload.job import Job
 from tests.conftest import make_server
 

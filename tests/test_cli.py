@@ -131,3 +131,66 @@ class TestExecution:
         assert "FAILED" in out
         assert "cells failed" in out
         assert "n/a (failed cells)" in out
+
+
+class TestTelemetryCommands:
+    def teardown_method(self):
+        import logging
+
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if not isinstance(handler, logging.NullHandler):
+                logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def test_log_level_flag_parses(self):
+        args = build_parser().parse_args(["--log-level", "debug", "experiment"])
+        assert args.log_level == "debug"
+        args = build_parser().parse_args(["experiment"])
+        assert args.log_level is None
+
+    def test_log_level_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "chatty", "experiment"])
+
+    def test_metrics_command_prints_prometheus(self, capsys, tmp_path):
+        import json
+
+        snap_path = tmp_path / "snap.json"
+        code = main(
+            ["metrics", "--servers", "40", "--hours", "0.3",
+             "--workload", "typical", "--json", str(snap_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_events_total counter" in out
+        assert "repro_monitor_sweeps_total" in out
+        assert 'repro_scheduler_rpc_latency_seconds_bucket' in out
+        doc = json.loads(snap_path.read_text())
+        assert "repro_controller_ticks_total" in doc
+
+    def test_spans_command_prints_summary(self, capsys):
+        code = main(
+            ["spans", "--servers", "40", "--hours", "0.3",
+             "--workload", "heavy", "--last", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "controller.tick" in out
+        assert "monitor.sweep" in out
+        assert "wall mean (us)" in out
+
+    def test_spans_unknown_name_fails(self, capsys):
+        code = main(
+            ["spans", "--servers", "40", "--hours", "0.2",
+             "--workload", "typical", "--name", "nope"]
+        )
+        assert code == 1
+        assert "no spans named" in capsys.readouterr().err
+
+    def test_log_level_debug_emits_to_stderr(self, capsys):
+        code = main(
+            ["--log-level", "info", "metrics", "--servers", "40",
+             "--hours", "0.2", "--workload", "typical"]
+        )
+        assert code == 0

@@ -1,6 +1,5 @@
 """Tests for power-aware cross-row placement (the Section 6 extension)."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.datacenter import build_datacenter

@@ -1,6 +1,5 @@
 """Tests for the per-minute power monitor."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.group import ServerGroup

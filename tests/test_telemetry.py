@@ -1,0 +1,569 @@
+"""Tests of the repro.telemetry subsystem.
+
+Covers the registry data model (instruments, families, label keying,
+merge semantics), the span tracer, Prometheus/JSON exposition, the
+disabled no-op path, the ControllerHealth / ControlEventLog bridges, the
+worker-boundary contract (pickling, serial-vs-parallel byte identity)
+and the logging setup helper.
+"""
+
+import io
+import json
+import logging
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sim.campaign import Campaign
+from repro.sim.engine import Engine
+from repro.sim.eventlog import ControlEventLog
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    configure_logging,
+    registry_from_snapshot,
+    render_json,
+    render_prometheus,
+    snapshot,
+)
+from repro.telemetry.bridge import (
+    CONTROL_EVENTS_COUNTER,
+    HEALTH_KINDS,
+    health_summary_from_registry,
+)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        n_servers=40,
+        duration_hours=0.3,
+        warmup_hours=0.05,
+        workload=WorkloadSpec(target_utilization=0.3),
+        seed=7,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# Registry instruments
+# ---------------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        c.inc()
+        c.inc(2.5)
+        assert reg.value("repro_test_total") == 3.5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_test_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert reg.value("repro_test_depth") == 7.0
+
+    def test_histogram_buckets_and_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        # non-cumulative internally: [<=0.1, <=1.0, +Inf]
+        assert h.bucket_counts == [1, 2, 1]
+        assert h.cumulative_counts() == [1, 3, 4]
+
+    def test_histogram_requires_sorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_bad_seconds", buckets=(1.0, 0.1))
+
+    def test_same_name_same_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_test_total", labels={"row": "0"})
+        b = reg.counter("repro_test_total", labels={"row": "0"})
+        c = reg.counter("repro_test_total", labels={"row": "1"})
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_test_total", labels={"a": "1", "b": "2"})
+        b = reg.counter("repro_test_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_test_total")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_test_seconds", buckets=(1.0,))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("repro_test_seconds", buckets=(2.0,))
+
+    def test_value_of_missing_series_is_none(self):
+        reg = MetricsRegistry()
+        assert reg.value("repro_absent_total") is None
+        reg.counter("repro_test_total", labels={"row": "0"})
+        assert reg.value("repro_test_total", {"row": "1"}) is None
+
+
+# ---------------------------------------------------------------------------
+# Merge semantics (the campaign worker boundary)
+# ---------------------------------------------------------------------------
+
+
+def make_registry(counter=1.0, gauge=2.0, obs=(0.5,)) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_m_total", "h", {"g": "x"}).inc(counter)
+    reg.gauge("repro_m_depth", "h").set(gauge)
+    h = reg.histogram("repro_m_seconds", "h", buckets=(0.1, 1.0))
+    for v in obs:
+        h.observe(v)
+    return reg
+
+
+class TestMerge:
+    def test_counters_add(self):
+        merged = MetricsRegistry.merged([make_registry(1), make_registry(2)])
+        assert merged.value("repro_m_total", {"g": "x"}) == 3.0
+
+    def test_gauges_take_last(self):
+        merged = MetricsRegistry.merged(
+            [make_registry(gauge=5.0), make_registry(gauge=7.0)]
+        )
+        assert merged.value("repro_m_depth") == 7.0
+
+    def test_histograms_add_bucketwise(self):
+        merged = MetricsRegistry.merged(
+            [make_registry(obs=(0.05, 0.5)), make_registry(obs=(5.0,))]
+        )
+        h = merged.get("repro_m_seconds")
+        assert h.count == 3
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.sum == pytest.approx(5.55)
+
+    def test_merged_does_not_mutate_inputs(self):
+        a, b = make_registry(1), make_registry(2)
+        MetricsRegistry.merged([a, b])
+        assert a.value("repro_m_total", {"g": "x"}) == 1.0
+        assert b.value("repro_m_total", {"g": "x"}) == 2.0
+
+    def test_merge_disjoint_names_unions(self):
+        a = MetricsRegistry()
+        a.counter("repro_a_total").inc()
+        b = MetricsRegistry()
+        b.counter("repro_b_total").inc()
+        a.merge(b)
+        assert a.value("repro_a_total") == 1.0
+        assert a.value("repro_b_total") == 1.0
+
+    def test_merge_mismatched_histogram_buckets_raises(self):
+        a = MetricsRegistry()
+        a.histogram("repro_m_seconds", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("repro_m_seconds", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="buckets"):
+            a.merge(b)
+
+    def test_registry_round_trips_through_pickle(self):
+        reg = make_registry(counter=4.0, gauge=1.5, obs=(0.2, 3.0))
+        clone = pickle.loads(pickle.dumps(reg))
+        assert render_prometheus(clone) == render_prometheus(reg)
+
+
+# ---------------------------------------------------------------------------
+# Exposition
+# ---------------------------------------------------------------------------
+
+
+class TestExposition:
+    def test_prometheus_format_of_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "things done", {"g": "a"}).inc(3)
+        reg.gauge("repro_y_depth", "queue depth").set(2.5)
+        text = render_prometheus(reg)
+        assert "# HELP repro_x_total things done\n" in text
+        assert "# TYPE repro_x_total counter\n" in text
+        assert 'repro_x_total{g="a"} 3\n' in text
+        assert "# TYPE repro_y_depth gauge\n" in text
+        assert "repro_y_depth 2.5\n" in text
+
+    def test_prometheus_histogram_lines_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_z_seconds", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        assert 'repro_z_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'repro_z_seconds_bucket{le="1"} 2\n' in text
+        assert 'repro_z_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "repro_z_seconds_sum 5.55" in text
+        assert "repro_z_seconds_count 3\n" in text
+
+    def test_families_export_in_sorted_name_order(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total").inc()
+        reg.counter("repro_a_total").inc()
+        text = render_prometheus(reg)
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+
+    def test_snapshot_round_trip(self):
+        reg = make_registry(counter=2.0, gauge=9.0, obs=(0.01, 0.7))
+        doc = json.loads(render_json(reg))
+        rebuilt = registry_from_snapshot(doc)
+        assert render_prometheus(rebuilt) == render_prometheus(reg)
+
+    def test_snapshot_is_plain_json_types(self):
+        doc = snapshot(make_registry())
+        # must survive a strict JSON round trip unchanged
+        assert json.loads(json.dumps(doc)) == doc
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_record_sim_and_wall_time(self):
+        clock = [100.0]
+        tracer = Tracer()
+        tracer.bind_sim_clock(lambda: clock[0])
+        with tracer.span("controller.tick", rows=2):
+            clock[0] = 160.0
+        (record,) = tracer.spans("controller.tick")
+        assert record.start_sim == 100.0
+        assert record.sim_duration == 60.0
+        assert record.wall_duration >= 0.0
+        assert record.attributes == {"rows": 2}
+
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("controller.tick") as outer:
+            with tracer.span("rhc.decide"):
+                pass
+        tick = tracer.spans("controller.tick")[0]
+        decide = tracer.spans("rhc.decide")[0]
+        assert decide.parent_id == tick.span_id
+        assert tick.parent_id is None
+        assert outer is not None
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span("s", i=i):
+                pass
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        kept = [r.attributes["i"] for r in tracer.spans("s")]
+        assert kept == [6, 7, 8, 9]
+
+    def test_range_query_filters_by_start_sim(self):
+        clock = [0.0]
+        tracer = Tracer()
+        tracer.bind_sim_clock(lambda: clock[0])
+        for t in (10.0, 20.0, 30.0):
+            clock[0] = t
+            with tracer.span("s"):
+                pass
+        assert [r.start_sim for r in tracer.spans("s", start=15.0, end=30.0)] == [20.0]
+
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("a"):
+                pass
+        with tracer.span("b"):
+            pass
+        summary = tracer.summary()
+        assert summary["a"]["count"] == 3
+        assert summary["b"]["count"] == 1
+        assert summary["a"]["wall_total"] >= summary["a"]["wall_max"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# The disabled path
+# ---------------------------------------------------------------------------
+
+
+class TestDisabled:
+    def test_disabled_is_a_shared_singleton(self):
+        assert Telemetry.disabled() is Telemetry.disabled()
+
+    def test_disabled_hands_out_shared_null_instruments(self):
+        tel = Telemetry.disabled()
+        assert tel.counter("repro_any_total") is NULL_COUNTER
+        assert tel.gauge("repro_any_depth") is NULL_GAUGE
+        assert tel.histogram("repro_any_seconds") is NULL_HISTOGRAM
+
+    def test_null_instruments_swallow_records(self):
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(3)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_disabled_spans_are_noops(self):
+        tel = Telemetry.disabled()
+        with tel.span("anything", x=1) as span:
+            span.set_attribute("y", 2)
+        assert len(tel.tracer) == 0
+        assert tel.tracer.spans() == []
+
+    def test_engine_defaults_to_disabled_telemetry(self):
+        assert Engine().telemetry is Telemetry.disabled()
+
+
+# ---------------------------------------------------------------------------
+# Bridges: ControllerHealth and ControlEventLog
+# ---------------------------------------------------------------------------
+
+
+class TestBridges:
+    def test_health_counters_mirror_into_registry(self):
+        from repro.core.controller import ControllerHealth
+
+        tel = Telemetry.create()
+        health = ControllerHealth()
+        health.bind(tel)
+        health.bump("degraded_ticks")
+        health.bump("rpc_retries", 3)
+        health.bump("reconciliation_diff_total", 7)
+        assert health_summary_from_registry(tel.registry) == health.summary()
+
+    def test_health_summary_covers_every_kind(self):
+        from repro.core.controller import ControllerHealth
+
+        assert set(HEALTH_KINDS) == set(ControllerHealth().summary())
+
+    def test_health_pickles_without_registry_wiring(self):
+        from repro.core.controller import ControllerHealth
+
+        health = ControllerHealth()
+        health.bind(Telemetry.create())
+        health.bump("crashes")
+        clone = pickle.loads(pickle.dumps(health))
+        assert clone.summary() == health.summary()
+        assert not hasattr(clone, "_counters")
+        # an unbound clone still counts, just without a mirror
+        clone.bump("recoveries")
+        assert clone.recoveries == 1
+
+    def test_event_log_mirrors_kind_counts(self):
+        tel = Telemetry.create()
+        engine = Engine(telemetry=tel)
+        log = ControlEventLog(engine)
+        log.record("freeze", 1)
+        log.record("freeze", 2)
+        log.record("unfreeze", 1)
+        for kind, n in log.counts_by_kind().items():
+            assert tel.registry.value(CONTROL_EVENTS_COUNTER, {"kind": kind}) == n
+
+    def test_experiment_health_matches_registry_mirror(self):
+        result = ControlledExperiment(
+            small_config(telemetry_enabled=True)
+        ).run()
+        assert result.telemetry is not None
+        assert (
+            health_summary_from_registry(result.telemetry)
+            == result.controller_health.summary()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Experiment integration
+# ---------------------------------------------------------------------------
+
+CORE_SERIES = (
+    "repro_engine_events_total",
+    "repro_engine_queue_depth",
+    "repro_monitor_sweeps_total",
+    "repro_controller_ticks_total",
+    "repro_scheduler_rpc_total",
+    "repro_scheduler_rpc_latency_seconds",
+)
+
+
+class TestExperimentIntegration:
+    def test_enabled_run_exports_core_series(self):
+        result = ControlledExperiment(small_config(telemetry_enabled=True)).run()
+        text = render_prometheus(result.telemetry)
+        for name in CORE_SERIES:
+            assert name in text, name
+        assert result.telemetry.value("repro_engine_events_total") > 0
+        assert (
+            result.telemetry.value(
+                "repro_controller_ticks_total", {"group": "experiment"}
+            )
+            > 0
+        )
+
+    def test_disabled_run_has_no_registry(self):
+        result = ControlledExperiment(small_config()).run()
+        assert result.telemetry is None
+
+    def test_telemetry_does_not_change_trajectories(self):
+        on = ControlledExperiment(small_config(telemetry_enabled=True)).run()
+        off = ControlledExperiment(small_config()).run()
+        assert np.array_equal(
+            on.experiment.normalized_power, off.experiment.normalized_power
+        )
+        assert np.array_equal(on.experiment.u_values, off.experiment.u_values)
+        assert on.experiment.throughput == off.experiment.throughput
+        assert on.r_t == off.r_t
+        assert on.g_tpw == off.g_tpw
+
+    def test_spans_cover_the_control_loop(self):
+        experiment = ControlledExperiment(small_config(telemetry_enabled=True))
+        experiment.run()
+        summary = experiment.telemetry.tracer.summary()
+        for name in ("engine.run", "monitor.sweep", "controller.tick"):
+            assert name in summary, name
+        # controller ticks happen once per monitor interval after warmup
+        assert summary["controller.tick"]["count"] == summary["monitor.sweep"]["count"]
+
+    def test_result_with_registry_pickles(self):
+        result = ControlledExperiment(small_config(telemetry_enabled=True)).run()
+        clone = pickle.loads(pickle.dumps(result.without_series()))
+        assert render_prometheus(clone.telemetry) == render_prometheus(
+            result.telemetry
+        )
+
+
+# ---------------------------------------------------------------------------
+# Campaign merge determinism across the worker boundary
+# ---------------------------------------------------------------------------
+
+
+def tiny_campaign() -> Campaign:
+    return Campaign(
+        ratios=(0.2,),
+        workloads={"w": WorkloadSpec(target_utilization=0.25)},
+        seeds=(1, 2),
+        n_servers=40,
+        duration_hours=0.2,
+        warmup_hours=0.05,
+        telemetry=True,
+    )
+
+
+class TestCampaignTelemetry:
+    def test_serial_rows_carry_registries(self):
+        result = tiny_campaign().run()
+        assert all(row.telemetry is not None for row in result.rows)
+
+    def test_rows_exclude_registry_from_records(self):
+        result = tiny_campaign().run()
+        assert "telemetry" not in result.rows[0].as_record()
+
+    def test_merged_telemetry_none_when_disabled(self):
+        campaign = Campaign(
+            ratios=(0.2,),
+            workloads={"w": WorkloadSpec(target_utilization=0.25)},
+            seeds=(1,),
+            n_servers=40,
+            duration_hours=0.2,
+            warmup_hours=0.05,
+        )
+        assert campaign.run().merged_telemetry() is None
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_serial_and_parallel_merged_snapshots_identical(self, workers):
+        campaign = tiny_campaign()
+        serial = campaign.run().merged_telemetry()
+        parallel = campaign.run_parallel(max_workers=workers).merged_telemetry()
+        assert render_prometheus(parallel) == render_prometheus(serial)
+        assert render_json(parallel) == render_json(serial)
+
+    def test_merged_counters_are_sums_of_cells(self):
+        result = tiny_campaign().run()
+        merged = result.merged_telemetry()
+        total = sum(
+            row.telemetry.value("repro_engine_events_total") for row in result.rows
+        )
+        assert merged.value("repro_engine_events_total") == total
+
+
+# ---------------------------------------------------------------------------
+# Logging setup
+# ---------------------------------------------------------------------------
+
+
+class TestLogging:
+    def teardown_method(self):
+        # configure_logging mutates the package logger; restore silence.
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def test_package_root_has_null_handler(self):
+        import repro
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+        assert repro is not None
+
+    def test_configure_logging_emits_module_records(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        logging.getLogger("repro.sim.parallel").info("pool message")
+        assert "INFO repro.sim.parallel: pool message" in stream.getvalue()
+
+    def test_configure_logging_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        configure_logging("warning", stream=stream)
+        logger = logging.getLogger("repro")
+        stream_handlers = [
+            h
+            for h in logger.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == 1
+
+    def test_configure_logging_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_level_filters_debug(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream, force=True)
+        logging.getLogger("repro.monitor.power_monitor").debug("hidden")
+        logging.getLogger("repro.monitor.power_monitor").warning("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+
+# ---------------------------------------------------------------------------
+# Default buckets sanity
+# ---------------------------------------------------------------------------
+
+
+def test_default_time_buckets_are_sorted_and_subsecond_to_timeout():
+    assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+    assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+    assert DEFAULT_TIME_BUCKETS[-1] >= 10.0

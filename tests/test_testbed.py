@@ -1,6 +1,5 @@
 """Tests for the Testbed builder and throughput tracking."""
 
-import numpy as np
 import pytest
 
 from repro.sim.testbed import Testbed, ThroughputTracker, WorkloadSpec

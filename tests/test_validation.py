@@ -1,7 +1,5 @@
 """Tests for the Section 4.1.2 group-similarity validation."""
 
-import pytest
-
 from repro.sim.testbed import Testbed, WorkloadSpec
 from repro.sim.validation import GroupSimilarityReport, validate_group_similarity
 
