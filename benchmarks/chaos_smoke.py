@@ -1,0 +1,85 @@
+"""CI chaos smoke: run one builtin fault scenario twice, demand identity.
+
+Each CI matrix leg picks a scenario name, runs a short seeded experiment
+with the safety ladder armed, then runs the *same* configuration a second
+time and compares the full serialized result documents. Any unhandled
+exception or byte-level divergence between the two runs fails the leg:
+hazard injection must be crash-free and deterministic per seed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --scenario chaos
+
+Exit status: 0 on success, 1 on nondeterminism, 2 on crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+
+from repro.core.safety import SafetyConfig
+from repro.faults.scenario import builtin_scenarios
+from repro.analysis.serialize import result_to_dict
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+
+def run_once(scenario_name: str, args: argparse.Namespace) -> str:
+    """One seeded run of the scenario; returns the serialized document."""
+    config = ExperimentConfig(
+        n_servers=args.servers,
+        duration_hours=args.hours,
+        warmup_hours=1.0,  # builtin scenario times assume the 1 h warm-up
+        over_provision_ratio=args.ratio,
+        workload=WorkloadSpec.typical(),
+        capping_enabled=True,
+        seed=args.seed,
+        faults=builtin_scenarios()[scenario_name],
+        safety=SafetyConfig(),
+        telemetry_enabled=True,
+    )
+    result = ControlledExperiment(config).run()
+    return json.dumps(result_to_dict(result), sort_keys=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario",
+        required=True,
+        choices=sorted(builtin_scenarios()),
+        help="builtin fault scenario to smoke-test",
+    )
+    parser.add_argument("--servers", type=int, default=40)
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--ratio", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    try:
+        first = run_once(args.scenario, args)
+        second = run_once(args.scenario, args)
+    except Exception:
+        traceback.print_exc()
+        print(f"chaos smoke FAILED: scenario {args.scenario!r} crashed")
+        return 2
+
+    if first != second:
+        print(
+            f"chaos smoke FAILED: scenario {args.scenario!r} is "
+            "nondeterministic (rerun produced a different document)"
+        )
+        return 1
+
+    print(
+        f"chaos smoke OK: scenario {args.scenario!r} ran twice, "
+        f"{len(first)} byte document identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,13 +76,20 @@ def result_to_dict(
     result: ExperimentResult, include_series: bool = True
 ) -> Dict[str, Any]:
     """Full experiment result as a JSON-serializable dict."""
-    return {
+    payload: Dict[str, Any] = {
         "config": _jsonable(result.config),
         "experiment": outcome_to_dict(result.experiment, include_series),
         "control": outcome_to_dict(result.control, include_series),
         "r_t": result.r_t,
         "g_tpw": result.g_tpw,
     }
+    # Safety-ladder outcomes only appear when a breaker/supervisor was
+    # armed, keeping documents from safety-free runs byte-stable.
+    if result.breaker_stats is not None:
+        payload["breaker"] = _jsonable(result.breaker_stats.snapshot())
+    if result.safety_stats is not None:
+        payload["safety"] = _jsonable(result.safety_stats.snapshot())
+    return payload
 
 
 def save_result_json(
@@ -138,6 +145,8 @@ def campaign_row_to_dict(row: CampaignRow) -> Dict[str, Any]:
         "r_t": row.r_t,
         "g_tpw": row.g_tpw,
         "violations": row.violations,
+        "trips": row.trips,
+        "jobs_shed": row.jobs_shed,
         "error": row.error,
     }
 
@@ -151,6 +160,8 @@ def campaign_row_from_dict(doc: Dict[str, Any]) -> CampaignRow:
         r_t=doc["r_t"],
         g_tpw=doc["g_tpw"],
         violations=doc["violations"],
+        trips=doc.get("trips", 0),
+        jobs_shed=doc.get("jobs_shed", 0),
         error=doc.get("error"),
     )
 

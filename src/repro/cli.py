@@ -12,7 +12,10 @@ Exposes the main experiment harnesses without writing Python::
     ampere-repro spans --hours 2
 
 (``run`` is an alias of ``experiment``; ``--faults`` injects one of the
-named control-plane fault scenarios from :mod:`repro.faults`. ``metrics``
+named fault scenarios from :mod:`repro.faults` -- control-plane and
+data-plane alike -- and ``--safety`` arms the breaker-trip physics plus
+the defense-in-depth emergency ladder of :mod:`repro.core.safety`.
+``metrics``
 and ``spans`` run a telemetry-enabled experiment and expose the
 :mod:`repro.telemetry` registry and control-loop span traces; the global
 ``--log-level`` flag turns on the package's stdlib logging.)
@@ -94,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inject a named control-plane fault scenario (repro.faults)",
     )
+    experiment.add_argument(
+        "--safety",
+        action="store_true",
+        help="arm the breaker model and the emergency safety ladder "
+        "(repro.core.safety)",
+    )
 
     sweep = sub.add_parser("sweep", help="G_TPW sweep over r_O (Table 3 / Section 4.4)")
     _add_common(sweep)
@@ -160,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCENARIOS),
         default=None,
         help="apply a named fault scenario to every cell (chaos sweeps)",
+    )
+    campaign.add_argument(
+        "--safety",
+        action="store_true",
+        help="arm the breaker model and emergency safety ladder in every cell",
     )
 
     metrics = sub.add_parser(
@@ -231,6 +245,18 @@ def _print_fault_report(result: ExperimentResult) -> None:
         f"rpc calls={stats.rpc_calls}  rpc failures={stats.rpc_failures}  "
         f"crashes={stats.crashes_injected}"
     )
+    if (
+        stats.surge_windows
+        or stats.sensor_bias_windows
+        or stats.server_failures
+    ):
+        print(
+            f"  data plane: surges={stats.surge_windows}  "
+            f"sensor bias windows={stats.sensor_bias_windows}  "
+            f"server failures={stats.server_failures}  "
+            f"repairs={stats.server_repairs}  "
+            f"jobs killed={stats.jobs_killed_by_failures}"
+        )
     health = result.controller_health
     if health is not None:
         s = health.summary()
@@ -246,8 +272,30 @@ def _print_fault_report(result: ExperimentResult) -> None:
         )
 
 
+def _print_safety_report(result: ExperimentResult) -> None:
+    """Breaker and emergency-ladder summary of one run (if armed)."""
+    breaker = result.breaker_stats
+    if breaker is not None:
+        print(
+            f"\nbreaker: trips={breaker.trips}  resets={breaker.resets}  "
+            f"jobs killed={breaker.jobs_killed}  "
+            f"servers de-energized={breaker.servers_deenergized}  "
+            f"peak thermal={breaker.max_thermal_fraction:.0%}"
+        )
+    safety = result.safety_stats
+    if safety is not None:
+        print(
+            f"safety ladder: escalations={safety.escalations}  "
+            f"de-escalations={safety.deescalations}  "
+            f"freezes={safety.freezes_issued}  slams={safety.slams}  "
+            f"jobs shed={safety.jobs_shed}"
+        )
+
+
 # ---------------------------------------------------------------------------
 def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.core.safety import SafetyConfig
+
     config = ExperimentConfig(
         n_servers=args.servers,
         duration_hours=args.hours,
@@ -258,6 +306,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         scale_control_budget=not args.scale_experiment_only,
         seed=args.seed,
         faults=SCENARIOS[args.faults] if args.faults else None,
+        safety=SafetyConfig() if args.safety else None,
     )
     result = ControlledExperiment(config).run()
     print(
@@ -268,6 +317,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     )
     print(f"\nr_T = {result.r_t:.3f}   G_TPW = {format_percent(result.g_tpw)}")
     _print_fault_report(result)
+    _print_safety_report(result)
     return 0
 
 
@@ -388,6 +438,7 @@ def cmd_advise(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.safety import SafetyConfig
     from repro.sim.campaign import Campaign, CampaignCell, CampaignRow
 
     campaign = Campaign(
@@ -396,6 +447,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         n_servers=args.servers,
         duration_hours=args.hours,
         faults=SCENARIOS[args.faults] if args.faults else None,
+        safety=SafetyConfig() if args.safety else None,
     )
     workers: Optional[int] = args.workers
     if workers is not None and workers < 1:
@@ -425,8 +477,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         result = campaign.run(on_cell=progress)
     if result.failed_rows:
         print(f"warning: {len(result.failed_rows)} cells failed; see rows below")
-    rows = [
-        [
+    headers = ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"]
+    if args.safety:
+        headers += ["trips", "shed"]
+    rows = []
+    for row in result.rows:
+        cells = [
             f"{row.cell.over_provision_ratio:.2f}",
             row.cell.workload_name,
             f"{row.p_mean:.3f}",
@@ -435,10 +491,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             format_percent(row.g_tpw),
             str(row.violations),
         ]
-        for row in result.rows
-    ]
-    print(render_table(
-        ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"], rows))
+        if args.safety:
+            cells += [str(row.trips), str(row.jobs_shed)]
+        rows.append(cells)
+    print(render_table(headers, rows))
     try:
         print(f"\nworst-case-optimal r_O: {result.best_ratio('worst_case'):.2f}")
     except KeyError:

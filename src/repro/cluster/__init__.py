@@ -22,8 +22,12 @@ from repro.cluster.datacenter import (
     build_datacenter,
 )
 from repro.cluster.capping import CappingEngine, CappingStats
+from repro.cluster.breaker import BreakerCurve, BreakerStats, RowBreaker
 
 __all__ = [
+    "BreakerCurve",
+    "BreakerStats",
+    "RowBreaker",
     "PowerModelParams",
     "server_power_watts",
     "Server",

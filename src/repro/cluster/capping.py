@@ -17,7 +17,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.cluster.group import ServerGroup
-from repro.cluster.power import next_higher_frequency, next_lower_frequency
+from repro.cluster.power import (
+    DVFS_FREQUENCIES,
+    next_higher_frequency,
+    next_lower_frequency,
+)
 from repro.cluster.server import Server
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
@@ -31,6 +35,8 @@ class CappingStats:
     over_budget_ticks: int = 0
     cap_actions: int = 0
     uncap_actions: int = 0
+    #: emergency floor-everything interventions (safety-supervisor slams)
+    slam_actions: int = 0
     capped_server_seconds: float = 0.0
     #: per-server seconds spent below full frequency
     per_server_capped_seconds: Dict[int, float] = field(default_factory=dict)
@@ -118,8 +124,11 @@ class CappingEngine:
             self._restore_while_safe(power, budget)
 
     def _account_capped_time(self) -> None:
+        # A failed or powered-off server draws nothing and runs nothing:
+        # its DVFS state is moot, so it must not accrue capped time (the
+        # failure path resets frequency, but guard here regardless).
         for server in self.group.servers:
-            if server.is_capped:
+            if server.is_capped and not (server.failed or server.powered_off):
                 self.stats.capped_server_seconds += self.interval
                 per = self.stats.per_server_capped_seconds
                 per[server.server_id] = per.get(server.server_id, 0.0) + self.interval
@@ -136,7 +145,9 @@ class CappingEngine:
         # hottest-first order remains a good greedy heuristic, matching how
         # production cappers prioritize.
         candidates: List[Server] = sorted(
-            self.group.servers, key=lambda s: s.power_watts(), reverse=True
+            (s for s in self.group.servers if not (s.failed or s.powered_off)),
+            key=lambda s: s.power_watts(),
+            reverse=True,
         )
         projected = power
         for server in candidates:
@@ -158,6 +169,8 @@ class CappingEngine:
         while projected > budget and progressing:
             progressing = False
             for server in self.group.servers:
+                if server.failed or server.powered_off:
+                    continue
                 if projected <= budget:
                     break
                 lower = next_lower_frequency(server.frequency)
@@ -169,6 +182,36 @@ class CappingEngine:
                 self.stats.cap_actions += 1
                 progressing = True
 
+    # ------------------------------------------------------------------
+    # Emergency surfaces used by the safety supervisor
+    # ------------------------------------------------------------------
+    def slam(self) -> int:
+        """Emergency cap: floor every live server's frequency at once.
+
+        The supervisor's CRITICAL response. Unlike :meth:`tick` this does
+        not stop at the budget -- it trades maximum SLA damage for an
+        immediate, guaranteed power cut. Returns frequency steps applied.
+        """
+        floor = DVFS_FREQUENCIES[-1]
+        actions = 0
+        for server in self.group.servers:
+            if server.failed or server.powered_off:
+                continue
+            if server.frequency > floor:
+                server.set_frequency(floor)
+                actions += 1
+        if actions:
+            self.stats.slam_actions += 1
+            self.stats.cap_actions += actions
+        return actions
+
+    def restore_step(self) -> None:
+        """One headroom-guarded restore pass (for callers that do not run
+        the periodic loop, e.g. the supervisor unwinding a slam)."""
+        self._restore_while_safe(
+            self.group.power_watts(), self.group.power_budget_watts
+        )
+
     def _restore_while_safe(self, power: float, budget: float) -> None:
         """Step capped servers back up while staying under the headroom."""
         ceiling = self.restore_headroom * budget
@@ -176,8 +219,14 @@ class CappingEngine:
             return
         # Restore the least-capped (closest to full speed) first so servers
         # exit the capped state quickly, minimizing SLA exposure.
+        # Dark servers are skipped: "restoring" one is free in power terms
+        # (delta 0) and would silently discard its DVFS state.
         capped = sorted(
-            (s for s in self.group.servers if s.is_capped),
+            (
+                s
+                for s in self.group.servers
+                if s.is_capped and not (s.failed or s.powered_off)
+            ),
             key=lambda s: s.frequency,
             reverse=True,
         )

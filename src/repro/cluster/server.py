@@ -190,8 +190,17 @@ class Server:
 
     def fail(self) -> None:
         """Mark the machine down. The scheduler is responsible for killing
-        and resubmitting its tasks (see ``OmegaScheduler.fail_server``)."""
+        and resubmitting its tasks (see ``OmegaScheduler.fail_server``).
+
+        Losing power also loses the DVFS state: the machine will POST at
+        full frequency, so the flag is cleared here (directly -- there are
+        no running jobs left to re-time, and listeners must not observe a
+        phantom "uncap" on a dark machine). Without this, a server that
+        failed while capped kept ``is_capped`` and leaked capped-time
+        accounting for as long as it stayed dark.
+        """
         self.failed = True
+        self.frequency = 1.0
         self._power_cache = None
 
     def repair(self) -> None:

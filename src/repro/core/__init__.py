@@ -25,8 +25,18 @@ from repro.core.rhc import (
     simulate_power_trajectory,
 )
 from repro.core.policy import FreezePlan, plan_freeze_set
+from repro.core.safety import (
+    SafetyConfig,
+    SafetyState,
+    SafetyStats,
+    SafetySupervisor,
+)
 
 __all__ = [
+    "SafetyConfig",
+    "SafetyState",
+    "SafetyStats",
+    "SafetySupervisor",
     "AmpereConfig",
     "AmpereController",
     "RowControlState",

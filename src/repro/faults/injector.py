@@ -1,10 +1,17 @@
 """The fault injector: turns a scenario into scheduled engine events.
 
-One injector per run. It wraps the scheduler (RPC faults), toggles the
-monitor's outage flag (blackouts) and crash/restarts the controller, all
-as :class:`~repro.sim.events.EventPriority.FAULT` events so a fault
+One injector per run. Control-plane seams: it wraps the scheduler (RPC
+faults), toggles the monitor's outage flag (blackouts) and crash/restarts
+the controller. Data-plane seams: it wraps the workload's rate profile
+(demand surges), schedules sensor-bias windows against the monitor, and
+drives the server crash/repair process (:mod:`repro.sim.failures`),
+including MTBF step-changes for crash storms. Everything lands as
+:class:`~repro.sim.events.EventPriority.FAULT` events so a fault
 scheduled for minute *t* already shapes minute *t*'s observation and
-control action. Everything is deterministic for a fixed scenario seed.
+control action, and everything is deterministic for a fixed scenario
+seed: the RPC stream uses ``SeedSequence(seed)`` exactly as before this
+module grew data-plane hazards, and the server-failure stream draws from
+the independent ``SeedSequence((seed, 1))``.
 """
 
 from __future__ import annotations
@@ -20,10 +27,13 @@ from repro.faults.scenario import FaultScenario
 from repro.scheduler.base import SchedulerInterface
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
+from repro.sim.failures import ServerFailureInjector
+from repro.workload.generator import RateProfile, SurgeRateProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.controller import AmpereController
     from repro.monitor.power_monitor import PowerMonitor
+    from repro.scheduler.omega import OmegaScheduler
 
 logger = logging.getLogger(__name__)
 
@@ -42,6 +52,11 @@ class FaultStats:
     rpc_calls: int = 0
     rpc_failures: int = 0
     crashes_injected: int = 0
+    surge_windows: int = 0
+    sensor_bias_windows: int = 0
+    server_failures: int = 0
+    server_repairs: int = 0
+    jobs_killed_by_failures: int = 0
 
 
 class FaultInjector:
@@ -54,8 +69,14 @@ class FaultInjector:
         self.flaky: Optional[FlakyScheduler] = None
         self.monitor: Optional["PowerMonitor"] = None
         self.controller: Optional["AmpereController"] = None
+        #: the *real* cluster scheduler (not the RPC fault wrapper) --
+        #: server failures are hardware events, they cannot "fail in
+        #: transit" the way control RPCs do
+        self.cluster_scheduler: Optional["OmegaScheduler"] = None
+        self.failures: Optional[ServerFailureInjector] = None
         self.blackouts_injected = 0
         self.crashes_injected = 0
+        self.surges_applied = 0
         self._armed = False
 
     # ------------------------------------------------------------------
@@ -82,6 +103,22 @@ class FaultInjector:
     def attach_controller(self, controller: "AmpereController") -> None:
         self.controller = controller
 
+    def attach_cluster(self, scheduler: "OmegaScheduler") -> None:
+        """Give the injector the real scheduler for data-plane hazards
+        (server failures bypass the RPC fault layer by design)."""
+        self.cluster_scheduler = scheduler
+
+    def wrap_rate_profile(self, profile: RateProfile) -> RateProfile:
+        """Layer the scenario's demand surges over a workload profile.
+
+        Pure wrapping -- no RNG is consumed, so a scenario without surges
+        leaves the workload stream untouched bit for bit.
+        """
+        if not self.scenario.surges:
+            return profile
+        self.surges_applied = len(self.scenario.surges)
+        return SurgeRateProfile(profile, self.scenario.surges)
+
     # ------------------------------------------------------------------
     # Arming (run time)
     # ------------------------------------------------------------------
@@ -101,6 +138,16 @@ class FaultInjector:
                 self.engine.schedule(
                     start + duration, EventPriority.FAULT, self._end_blackout
                 )
+        if self.monitor is not None:
+            for start, duration, factor in self.scenario.sensor_bias:
+                if start < now or start >= until:
+                    continue
+                self.engine.schedule(
+                    start, EventPriority.FAULT, self._begin_bias, factor
+                )
+                self.engine.schedule(
+                    start + duration, EventPriority.FAULT, self._end_bias
+                )
         if self.controller is not None:
             for crash_at in self.scenario.crash_times:
                 if crash_at < now or crash_at >= until:
@@ -110,6 +157,32 @@ class FaultInjector:
                     crash_at + self.scenario.restart_delay_seconds,
                     EventPriority.FAULT,
                     self._restart,
+                )
+        if (
+            self.cluster_scheduler is not None
+            and self.scenario.wants_server_failures
+        ):
+            # Baseline churn rate; with storms-only scenarios the baseline
+            # is effectively off (one failure per server per ~century).
+            base_mtbf = self.scenario.server_mtbf_hours or 1_000_000.0
+            self.failures = ServerFailureInjector(
+                self.engine,
+                self.cluster_scheduler,
+                rng=np.random.default_rng(
+                    np.random.SeedSequence((self.scenario.seed, 1))
+                ),
+                mtbf_hours=base_mtbf,
+                mttr_minutes=self.scenario.server_mttr_minutes,
+            )
+            self.failures.start(until)
+            for start, duration, storm_mtbf in self.scenario.crash_storms:
+                if start < now or start >= until:
+                    continue
+                self.engine.schedule(
+                    start, EventPriority.FAULT, self._begin_storm, storm_mtbf
+                )
+                self.engine.schedule(
+                    start + duration, EventPriority.FAULT, self._end_storm, base_mtbf
                 )
 
     def _begin_blackout(self) -> None:
@@ -141,6 +214,28 @@ class FaultInjector:
         if self.controller.crashed:
             self.controller.recover()
 
+    def _begin_bias(self, factor: float) -> None:
+        assert self.monitor is not None
+        self.monitor.set_sensor_bias(factor)
+
+    def _end_bias(self) -> None:
+        assert self.monitor is not None
+        self.monitor.set_sensor_bias(1.0)
+
+    def _begin_storm(self, storm_mtbf_hours: float) -> None:
+        assert self.failures is not None
+        logger.warning(
+            "crash storm begins at t=%.0fs (per-server MTBF -> %.0fh)",
+            self.engine.now,
+            storm_mtbf_hours,
+        )
+        self.failures.set_mtbf_hours(storm_mtbf_hours)
+
+    def _end_storm(self, base_mtbf_hours: float) -> None:
+        assert self.failures is not None
+        logger.info("crash storm ends at t=%.0fs", self.engine.now)
+        self.failures.set_mtbf_hours(base_mtbf_hours)
+
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> FaultStats:
         """Freeze the injector's counters into a picklable record."""
@@ -153,6 +248,19 @@ class FaultInjector:
             rpc_calls=self.flaky.stats.calls if self.flaky is not None else 0,
             rpc_failures=self.flaky.stats.failures if self.flaky is not None else 0,
             crashes_injected=self.crashes_injected,
+            surge_windows=self.surges_applied,
+            sensor_bias_windows=(
+                self.monitor.bias_windows_applied if self.monitor is not None else 0
+            ),
+            server_failures=(
+                self.failures.stats.failures if self.failures is not None else 0
+            ),
+            server_repairs=(
+                self.failures.stats.repairs if self.failures is not None else 0
+            ),
+            jobs_killed_by_failures=(
+                self.failures.stats.jobs_killed if self.failures is not None else 0
+            ),
         )
 
 

@@ -90,6 +90,12 @@ class PowerMonitor:
         self.in_outage = False
         self.outages_begun = 0
         self.samples_suppressed = 0
+        #: multiplicative sensor miscalibration applied to every reading
+        #: the monitoring plane serves (1.0 = calibrated). True power --
+        #: and therefore breaker physics -- is never affected; this is
+        #: the "controller steering on lying sensors" hazard.
+        self.sensor_bias = 1.0
+        self.bias_windows_applied = 0
         #: per-server readings discarded because the BMC went stale (NaN)
         self.stale_readings = 0
         self.telemetry = (
@@ -111,6 +117,10 @@ class PowerMonitor:
         self._outage_gauge = self.telemetry.gauge(
             "repro_monitor_in_outage",
             "1 while a monitoring blackout is in effect, else 0",
+        )
+        self._bias_gauge = self.telemetry.gauge(
+            "repro_monitor_sensor_bias",
+            "Multiplicative miscalibration applied to served readings",
         )
         self._group_instruments: Dict[str, Dict[str, object]] = {}
 
@@ -197,6 +207,31 @@ class PowerMonitor:
         self._outage_gauge.set(0.0)
 
     # ------------------------------------------------------------------
+    # Sensor miscalibration (the data-plane drift fault seam)
+    # ------------------------------------------------------------------
+    def set_sensor_bias(self, factor: float) -> None:
+        """Install (or clear, with 1.0) a multiplicative calibration error.
+
+        Applied to every per-server reading this monitor serves -- the
+        stored series, violation accounting and :meth:`snapshot_server_powers`
+        all see the biased values, exactly as a miscalibrated IPMI fleet
+        would present them. Idempotent per factor.
+        """
+        if factor <= 0:
+            raise ValueError(f"sensor bias factor must be positive, got {factor}")
+        if factor != 1.0 and self.sensor_bias == 1.0:
+            self.bias_windows_applied += 1
+            logger.warning(
+                "sensor miscalibration began at t=%.0fs (factor %.3f)",
+                self.engine.now,
+                factor,
+            )
+        elif factor == 1.0 and self.sensor_bias != 1.0:
+            logger.info("sensor calibration restored at t=%.0fs", self.engine.now)
+        self.sensor_bias = float(factor)
+        self._bias_gauge.set(self.sensor_bias)
+
+    # ------------------------------------------------------------------
     def sample_once(self) -> None:
         """Take one sample of every registered group.
 
@@ -252,6 +287,8 @@ class PowerMonitor:
                         readings = true_powers * noise
                     else:
                         readings = true_powers
+                if self.sensor_bias != 1.0:
+                    readings = readings * self.sensor_bias
                 total = float(np.nansum(readings))
                 if self.store_per_server:
                     for server, reading in zip(group.servers, readings):
@@ -332,7 +369,9 @@ class PowerMonitor:
         else:
             noise = np.ones(len(group.servers))
         for server, factor in zip(group.servers, noise):
-            readings[server.server_id] = server.power_watts() * factor
+            readings[server.server_id] = (
+                server.power_watts() * factor * self.sensor_bias
+            )
         return readings
 
     def violation_count(self, group_name: str) -> int:

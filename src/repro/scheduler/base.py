@@ -27,6 +27,8 @@ class SchedulerStats:
     jobs_killed: int = 0
     preemptions: int = 0
     jobs_preempted: int = 0
+    #: tasks dropped by emergency load shedding (killed, never resubmitted)
+    jobs_shed: int = 0
     #: placements broken down by product tag
     placed_by_product: Dict[str, int] = field(default_factory=dict)
 

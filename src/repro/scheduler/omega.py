@@ -209,6 +209,46 @@ class OmegaScheduler(SchedulerInterface):
             self.submit(retry)
         return len(killed)
 
+    def shed_tasks(self, server_id: int, max_tasks: Optional[int] = None) -> int:
+        """Emergency load shedding: drop batch tasks from one server.
+
+        The safety supervisor's last resort before a breaker trip. Unlike
+        :meth:`fail_server` the machine stays up and, critically, the
+        killed work is *not* resubmitted -- shedding must reduce total
+        demand, not relocate it. Victims are chosen priority-aware:
+        lowest priority first, largest remaining work first within a
+        priority (drop the cheapest, longest-lived work). Pinned services
+        (infinite work) are never shed. Returns the number of tasks
+        dropped.
+        """
+        if server_id not in self.tracker.index_of:
+            raise KeyError(f"unknown server id {server_id}")
+        index = self.tracker.index_of[server_id]
+        server = self.tracker.server_at(index)
+        victims = sorted(
+            (
+                t
+                for t in server.tasks.values()
+                if t.remaining_work != float("inf")
+            ),
+            key=lambda t: (t.priority, -t.remaining_work, t.job_id),
+        )
+        if max_tasks is not None:
+            victims = victims[:max_tasks]
+        now = self.engine.now
+        for job in victims:
+            if job.completion_handle is not None:
+                job.completion_handle.cancel()
+                job.completion_handle = None
+            job.advance(now, server.frequency)
+            server.remove_task(job)
+            self.tracker.on_release(index, job.cores, job.memory_gb)
+            job.kill()
+        if victims:
+            self.stats.jobs_shed += len(victims)
+            self._notify_control("shed", server_id)
+        return len(victims)
+
     def repair_server(self, server_id: int) -> None:
         """Bring a failed server back into the schedulable pool."""
         if server_id not in self.tracker.index_of:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.core.safety import SafetyConfig
 from repro.faults.scenario import FaultScenario
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
@@ -66,6 +67,8 @@ class CampaignRunConfig:
     #: control-plane fault schedule applied identically to every cell
     #: (the fault-sweep experiments run one campaign per scenario)
     faults: Optional[FaultScenario] = None
+    #: breaker physics + emergency ladder applied to every cell
+    safety: Optional[SafetyConfig] = None
     #: collect per-cell metrics registries (merged campaign-wide via
     #: :meth:`CampaignResult.merged_telemetry`)
     telemetry: bool = False
@@ -83,6 +86,8 @@ CAMPAIGN_RECORD_FIELDS = (
     "r_t",
     "g_tpw",
     "violations",
+    "trips",
+    "jobs_shed",
     "error",
 )
 
@@ -103,6 +108,10 @@ class CampaignRow:
     r_t: float
     g_tpw: float
     violations: int
+    #: breaker trips suffered by the cell (0 when no breaker was armed)
+    trips: int = 0
+    #: batch tasks dropped by emergency load shedding
+    jobs_shed: int = 0
     error: Optional[str] = None
     #: the cell's metrics registry (None unless the run config enabled
     #: telemetry). Deliberately excluded from :meth:`as_record`: records
@@ -139,6 +148,8 @@ class CampaignRow:
             "r_t": self.r_t,
             "g_tpw": self.g_tpw,
             "violations": self.violations,
+            "trips": self.trips,
+            "jobs_shed": self.jobs_shed,
             "error": self.error,
         }
 
@@ -162,6 +173,7 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         workload=cell.workload,
         seed=cell.seed,
         faults=config.faults,
+        safety=config.safety,
         telemetry_enabled=config.telemetry,
     )
     outcome = ControlledExperiment(experiment_config).run()
@@ -174,6 +186,14 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         r_t=outcome.r_t,
         g_tpw=outcome.g_tpw,
         violations=summary.violations,
+        trips=(
+            outcome.breaker_stats.trips if outcome.breaker_stats is not None else 0
+        ),
+        jobs_shed=(
+            outcome.safety_stats.jobs_shed
+            if outcome.safety_stats is not None
+            else 0
+        ),
         telemetry=outcome.telemetry,
     )
 
@@ -268,6 +288,7 @@ class Campaign:
         duration_hours: float = 12.0,
         warmup_hours: float = 1.0,
         faults: Optional[FaultScenario] = None,
+        safety: Optional[SafetyConfig] = None,
         telemetry: bool = False,
     ) -> None:
         if not ratios:
@@ -291,6 +312,7 @@ class Campaign:
             duration_hours=duration_hours,
             warmup_hours=warmup_hours,
             faults=faults,
+            safety=safety,
             telemetry=telemetry,
         )
 

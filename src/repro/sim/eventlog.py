@@ -20,7 +20,19 @@ from repro.sim.engine import Engine
 from repro.telemetry import Telemetry
 from repro.telemetry.bridge import control_event_counter
 
-KNOWN_KINDS = ("freeze", "unfreeze", "fail", "repair", "cap", "uncap")
+KNOWN_KINDS = (
+    "freeze",
+    "unfreeze",
+    "fail",
+    "repair",
+    "cap",
+    "uncap",
+    #: emergency actions: breaker open/close (group-level, server_id -1)
+    #: and supervisor load shedding
+    "trip",
+    "reset",
+    "shed",
+)
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,14 @@ class EventPriority(enum.IntEnum):
     FAULT = 35
     MONITOR_SAMPLE = 40
     CONTROLLER_TICK = 50
+    #: the safety supervisor arbitrates between the statistical controller
+    #: (which has already acted this instant) and the reactive layers below
+    #: it, so it runs between them.
+    SAFETY_TICK = 55
     CAPPING_TICK = 60
+    #: breaker physics integrate the *settled* electrical state -- after
+    #: every control and capping action at this instant has landed.
+    BREAKER_TICK = 65
     EXPERIMENT_HOOK = 70
     GENERIC = 100
 

@@ -31,16 +31,19 @@ from repro.analysis.metrics import (
     summarize_power_series,
     throughput_ratio,
 )
+from repro.cluster.breaker import BreakerStats, RowBreaker
 from repro.cluster.capping import CappingEngine, CappingStats
 from repro.cluster.group import ServerGroup
 from repro.core.config import AmpereConfig
 from repro.core.controller import AmpereController, ControllerHealth
 from repro.core.demand import ConstantDemandEstimator, DemandEstimator
 from repro.core.freeze_model import DEFAULT_K_R, FreezeEffectModel
+from repro.core.safety import SafetyConfig, SafetyStats, SafetySupervisor
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.scenario import FaultScenario
 from repro.scheduler.base import InstrumentedScheduler, SchedulerInterface
 from repro.scheduler.policies import PlacementPolicy
+from repro.sim.eventlog import ControlEventLog
 from repro.sim.testbed import Testbed, WorkloadSpec
 from repro.telemetry import MetricsRegistry, Telemetry
 
@@ -67,6 +70,9 @@ class ExperimentConfig:
     seed: int = 0
     #: control-plane fault schedule (None = the perfect control plane)
     faults: Optional[FaultScenario] = None
+    #: breaker physics + emergency ladder (None = no breaker model, the
+    #: pre-PR-4 behaviour where overload is only counted, never punished)
+    safety: Optional[SafetyConfig] = None
     #: collect metrics and spans for this run (off by default; the
     #: disabled path is a shared no-op and never perturbs trajectories)
     telemetry_enabled: bool = False
@@ -141,6 +147,10 @@ class ExperimentResult:
     capping_stats: Optional[CappingStats] = None
     #: what the fault injector actually did (None for fault-free runs)
     fault_stats: Optional[FaultStats] = None
+    #: breaker activity (None when no safety config was set)
+    breaker_stats: Optional[BreakerStats] = None
+    #: what the emergency ladder did (None when the supervisor was off)
+    safety_stats: Optional[SafetyStats] = None
     #: the controller's defensive-action telemetry (None when disabled)
     controller_health: Optional[ControllerHealth] = None
     #: metrics registry of the run (None unless ``telemetry_enabled``);
@@ -204,6 +214,9 @@ class ControlledExperiment:
                 self.testbed.scheduler
             )
             self.injector.attach_monitor(self.testbed.monitor)
+            # Data-plane hazards (server failures) act on the real
+            # scheduler: hardware does not fail "in transit".
+            self.injector.attach_cluster(self.testbed.scheduler)
         # Instrumentation wraps the fault layer so the RPC metrics see
         # exactly what the controller experiences, including injected
         # failures. A no-op when telemetry is disabled.
@@ -236,6 +249,51 @@ class ControlledExperiment:
                 self.testbed.engine,
                 interval=config.capping_interval_seconds,
             )
+
+        # The audit trail: control actions (freeze/fail/shed/...) plus
+        # breaker trips, timestamped on the simulation clock. Listeners
+        # consume no randomness, so attaching it never perturbs runs.
+        self.event_log = ControlEventLog(
+            self.testbed.engine, telemetry=self.telemetry
+        )
+        self.event_log.attach_scheduler(self.testbed.scheduler)
+
+        # Breaker physics + the emergency ladder protect the experiment
+        # group only: it is the one whose scaled budget emulates the row
+        # feed Ampere controls; the control group is the measurement
+        # baseline and must stay consequence-free to remain comparable.
+        self.breaker: Optional[RowBreaker] = None
+        self.safety: Optional[SafetySupervisor] = None
+        if config.safety is not None:
+            self.breaker = RowBreaker(
+                self.experiment_group,
+                self.testbed.engine,
+                self.testbed.scheduler,
+                curve=config.safety.breaker,
+                interval=config.safety.breaker_interval_seconds,
+                reset_delay_seconds=config.safety.breaker_reset_minutes * 60.0,
+                event_log=self.event_log,
+                telemetry=self.telemetry,
+            )
+            if config.safety.supervisor_enabled:
+                # The supervisor needs a capping engine for its CRITICAL
+                # slam even when reactive capping is not running; an
+                # unstarted engine provides slam/restore surfaces only.
+                emergency_capping = self.capping or CappingEngine(
+                    self.experiment_group,
+                    self.testbed.engine,
+                    interval=config.capping_interval_seconds,
+                )
+                self.safety = SafetySupervisor(
+                    self.testbed.engine,
+                    self.experiment_group,
+                    self.testbed.scheduler,
+                    emergency_capping,
+                    config=config.safety,
+                    breaker=self.breaker,
+                    event_log=self.event_log,
+                    telemetry=self.telemetry,
+                )
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -248,15 +306,27 @@ class ControlledExperiment:
         end = config.end_seconds
         warmup = config.warmup_seconds
 
-        generator = self.testbed.add_batch_workload(config.workload, end)
+        profile = self.testbed.build_rate_profile(config.workload, end)
+        if self.injector is not None:
+            # Demand surges wrap the profile (pure, RNG-free): without
+            # surges in the scenario the workload stream is bit-identical
+            # to a fault-free run.
+            profile = self.injector.wrap_rate_profile(profile)
+        generator = self.testbed.add_batch_workload(
+            config.workload, end, profile=profile
+        )
         generator.start(end)
-        # Monitoring, control and capping begin after warm-up so the
-        # measurement window starts from steady state.
+        # Monitoring, control, safety and capping begin after warm-up so
+        # the measurement window starts from steady state.
         self.testbed.monitor.start(end, first_at=warmup)
         if self.controller is not None:
             self.controller.start(end, first_at=warmup)
+        if self.safety is not None:
+            self.safety.start(end, first_at=warmup)
         if self.capping is not None:
             self.capping.start(end, first_at=warmup)
+        if self.breaker is not None:
+            self.breaker.start(end, first_at=warmup)
         if self.injector is not None:
             self.injector.arm(end)
         self.testbed.engine.run(until=end)
@@ -278,6 +348,12 @@ class ControlledExperiment:
             capping_stats=self.capping.stats if self.capping is not None else None,
             fault_stats=(
                 self.injector.stats_snapshot() if self.injector is not None else None
+            ),
+            breaker_stats=(
+                self.breaker.stats_snapshot() if self.breaker is not None else None
+            ),
+            safety_stats=(
+                self.safety.stats_snapshot() if self.safety is not None else None
             ),
             controller_health=(
                 self.controller.health if self.controller is not None else None

@@ -74,6 +74,7 @@ class ServerFailureInjector:
         self.mttr_seconds = mttr_minutes * 60.0
         self.stats = FailureStats()
         self._until: Optional[float] = None
+        self._pending = None  # handle of the next scheduled failure
 
     @property
     def fleet_failure_rate(self) -> float:
@@ -84,13 +85,33 @@ class ServerFailureInjector:
         self._until = until
         self._schedule_next_failure()
 
+    def set_mtbf_hours(self, mtbf_hours: float) -> None:
+        """Change the failure rate mid-run (a crash storm begins/ends).
+
+        The pending failure was drawn at the old rate, so it is cancelled
+        and a fresh gap drawn at the new one -- the memoryless property
+        makes the resample statistically clean, and drawing from the same
+        RNG stream keeps the run deterministic.
+        """
+        if mtbf_hours <= 0:
+            raise ValueError(f"mtbf_hours must be positive, got {mtbf_hours}")
+        self.mtbf_seconds = mtbf_hours * SECONDS_PER_HOUR
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if self._until is not None:
+            self._schedule_next_failure()
+
     # ------------------------------------------------------------------
     def _schedule_next_failure(self) -> None:
         gap = self.rng.exponential(1.0 / self.fleet_failure_rate)
         t = self.engine.now + gap
         if self._until is not None and t >= self._until:
+            self._pending = None
             return
-        self.engine.schedule(t, EventPriority.GENERIC, self._fail_one)
+        self._pending = self.engine.schedule(
+            t, EventPriority.GENERIC, self._fail_one
+        )
 
     def _fail_one(self) -> None:
         alive = [s for s in self.scheduler.tracker.servers if not s.failed]

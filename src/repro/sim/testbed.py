@@ -296,12 +296,20 @@ class Testbed:
         spec: WorkloadSpec,
         horizon_seconds: float,
         product: str = "batch",
+        profile: Optional[RateProfile] = None,
     ) -> BatchWorkloadGenerator:
-        """Attach (but do not start) a batch workload generator."""
+        """Attach (but do not start) a batch workload generator.
+
+        ``profile`` overrides the spec-derived rate profile -- the seam
+        the fault injector uses to layer demand surges over the standard
+        workload without disturbing its RNG stream.
+        """
         generator = BatchWorkloadGenerator(
             self.engine,
             self.scheduler,
-            self.build_rate_profile(spec, horizon_seconds),
+            profile
+            if profile is not None
+            else self.build_rate_profile(spec, horizon_seconds),
             rng=self._workload_rng,
             duration=self.duration_distribution,
             demand=self.demand_distribution,

@@ -200,6 +200,46 @@ class BurstyRateProfile(RateProfile):
         return list(zip(self._starts.tolist(), self._ends.tolist()))
 
 
+class SurgeRateProfile(RateProfile):
+    """Declared multiplicative step windows on top of a base profile.
+
+    Unlike :class:`BurstyRateProfile` (random bursts drawn from a seed),
+    the windows here are *scheduled*: the fault plane injects a demand
+    surge at a known instant (a launch, a retry storm) so chaos runs can
+    assert on exactly when the hazard was active. Windows are pure
+    functions of time; overlapping windows are rejected upstream
+    (scenario validation), so ``max_rate`` is exact.
+    """
+
+    def __init__(
+        self,
+        base: RateProfile,
+        windows: Sequence[tuple],
+    ) -> None:
+        self.base = base
+        self.windows = tuple(
+            (float(s), float(d), float(f)) for s, d, f in windows
+        )
+        for start, duration, factor in self.windows:
+            if start < 0 or duration <= 0 or factor <= 0:
+                raise ValueError(
+                    "surge windows need start >= 0, duration > 0, factor > 0, "
+                    f"got ({start}, {duration}, {factor})"
+                )
+
+    def rate(self, t: float) -> float:
+        rate = self.base.rate(t)
+        for start, duration, factor in self.windows:
+            if start <= t < start + duration:
+                rate *= factor
+        return rate
+
+    @property
+    def max_rate(self) -> float:
+        peak = max((f for _, _, f in self.windows), default=1.0)
+        return self.base.max_rate * max(peak, 1.0)
+
+
 class BatchWorkloadGenerator:
     """Simulation process that submits batch jobs to the scheduler.
 
@@ -292,6 +332,8 @@ __all__ = [
     "ConstantRateProfile",
     "DiurnalRateProfile",
     "ModulatedRateProfile",
+    "BurstyRateProfile",
+    "SurgeRateProfile",
     "BatchWorkloadGenerator",
     "SECONDS_PER_HOUR",
     "SECONDS_PER_DAY",

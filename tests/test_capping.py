@@ -145,3 +145,73 @@ class TestStrategies:
     def test_unknown_strategy_rejected(self, engine):
         with pytest.raises(ValueError, match="strategy"):
             CappingEngine(loaded_group(), engine, strategy="coin-flip")
+
+
+class TestCappingUnderFailures:
+    """Capping x server failures: a machine that dies while capped must
+    not leak capped-state or capped-time into the books."""
+
+    def test_fail_while_capped_clears_cap_state(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        victim = next(s for s in group.servers if s.is_capped)
+        victim.fail()
+        # A failed machine POSTs at full frequency: no stale DVFS state.
+        assert victim.frequency == 1.0
+        assert not victim.is_capped
+
+    def test_failed_server_accrues_no_capped_seconds(self, engine):
+        group = loaded_group(n=2)
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine, interval=2.0)
+        capper.tick()
+        capped = [s for s in group.servers if s.is_capped]
+        for server in capped:
+            server.fail()
+        before = capper.stats.capped_server_seconds
+        capper.tick()  # accounting pass with every capped server dark
+        assert capper.stats.capped_server_seconds == before
+
+    def test_slam_skips_dark_servers(self, engine):
+        group = loaded_group(n=4)
+        group.servers[0].fail()
+        idle = group.servers[1]
+        for job in list(idle.tasks.values()):
+            idle.remove_task(job)  # the scheduler's cleanup, inlined
+        idle.power_off()
+        capper = CappingEngine(group, engine)
+        floored = capper.slam()
+        assert floored == 2
+        assert capper.stats.slam_actions == 1  # one slam, two servers hit
+        assert capper.stats.cap_actions == 2
+        assert group.servers[0].frequency == 1.0  # untouched by the slam
+        assert group.servers[1].frequency == 1.0
+        assert all(s.frequency == 0.5 for s in group.servers[2:])
+
+    def test_restore_skips_dark_servers(self, engine):
+        group = loaded_group(n=4)
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        victim = next(s for s in group.servers if s.is_capped)
+        victim.fail()
+        victim.frequency = 0.7  # pretend stale state survived the crash
+        group.power_budget_watts = group.power_watts() * 100.0
+        for _ in range(10):  # restore moves one DVFS step per tick
+            capper.tick()
+        assert victim.frequency == 0.7  # dark server left alone
+        alive = [s for s in group.servers if not s.failed]
+        assert all(s.frequency == 1.0 for s in alive)
+
+    def test_repair_returns_at_full_frequency(self, engine):
+        group = loaded_group()
+        group.power_budget_watts = group.power_watts() * 0.9
+        capper = CappingEngine(group, engine)
+        capper.tick()
+        victim = next(s for s in group.servers if s.is_capped)
+        victim.fail()
+        victim.repair()
+        assert victim.frequency == 1.0
+        assert not victim.failed

@@ -1,9 +1,11 @@
-"""Tests for the control-plane fault layer and the hardened controller.
+"""Tests for the fault layer and the hardened controller.
 
-Covers the three fault seams (monitor blackouts, scheduler RPC faults,
-controller crashes) in isolation, and then the combined "chaos"
-acceptance scenario end to end: a 10-minute blackout, 5% RPC failure
-rate and one mid-run controller crash, all from one fixed seed.
+Covers the three control-plane fault seams (monitor blackouts, scheduler
+RPC faults, controller crashes) in isolation, the data-plane hazards
+(workload surges, sensor miscalibration, server crash storms), and then
+the combined "chaos" acceptance scenario end to end: a 10-minute
+blackout, 5% RPC failure rate and one mid-run controller crash, all from
+one fixed seed.
 """
 
 import json
@@ -19,7 +21,11 @@ from repro.core.demand import ConstantDemandEstimator
 from repro.core.freeze_model import FreezeEffectModel
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.rpc import FlakyScheduler
-from repro.faults.scenario import FaultScenario, builtin_scenarios
+from repro.faults.scenario import (
+    MAX_EVENT_SECONDS,
+    FaultScenario,
+    builtin_scenarios,
+)
 from repro.monitor.ipmi import IpmiFleet
 from repro.monitor.power_monitor import PowerMonitor
 from repro.scheduler.base import SchedulerInterface, SchedulerRpcError
@@ -27,6 +33,7 @@ from repro.scheduler.omega import OmegaScheduler
 from repro.sim.engine import Engine
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
+from repro.workload.generator import ConstantRateProfile, SurgeRateProfile
 from tests.conftest import make_server
 
 
@@ -133,16 +140,33 @@ class TestFaultScenario:
         [
             {"blackouts": ((-1.0, 60.0),)},
             {"blackouts": ((0.0, 0.0),)},
+            {"blackouts": ((0.0, 120.0), (60.0, 120.0))},  # overlap
+            {"blackouts": ((MAX_EVENT_SECONDS * 2, 60.0),)},
             {"rpc_failure_rate": 1.0},
             {"rpc_failure_rate": -0.1},
             {"rpc_latency_seconds": -1.0},
             {"crash_times": (-5.0,)},
+            {"crash_times": (MAX_EVENT_SECONDS * 2,)},
             {"restart_delay_seconds": -1.0},
+            {"surges": ((100.0, -60.0, 2.0),)},
+            {"surges": ((100.0, 60.0, 0.0),)},
+            {"surges": ((0.0, 120.0, 2.0), (60.0, 120.0, 3.0))},  # overlap
+            {"sensor_bias": ((100.0, 60.0, -0.5),)},
+            {"sensor_bias": ((-10.0, 60.0, 0.9),)},
+            {"server_mtbf_hours": -1.0},
+            {"server_mttr_minutes": 0.0},
+            {"crash_storms": ((100.0, 60.0, 0.0),)},
+            {"crash_storms": ((100.0, 0.0, 10.0),)},
         ],
     )
     def test_invalid_scenarios_rejected(self, kwargs):
         with pytest.raises(ValueError):
             FaultScenario(**kwargs)
+
+    def test_adjacent_windows_do_not_overlap(self):
+        # Back-to-back windows are legal; only true overlap is rejected.
+        scenario = FaultScenario(blackouts=((0.0, 60.0), (60.0, 60.0)))
+        assert len(scenario.blackouts) == 2
 
     def test_builtin_chaos_composes_all_three_seams(self):
         scenarios = builtin_scenarios()
@@ -152,11 +176,25 @@ class TestFaultScenario:
         for name, scenario in scenarios.items():
             assert scenario.name == name
 
+    def test_builtin_data_plane_scenarios(self):
+        scenarios = builtin_scenarios()
+        assert scenarios["surge"].surges
+        assert scenarios["sensor-drift"].sensor_bias
+        assert scenarios["crash-storm"].wants_server_failures
+        data_chaos = scenarios["data-chaos"]
+        assert data_chaos.surges and data_chaos.sensor_bias
+        assert data_chaos.crash_storms
+        assert not FaultScenario().wants_server_failures
+
     def test_describe_mentions_each_hazard(self):
         text = builtin_scenarios()["chaos"].describe()
         assert "blackout" in text
         assert "RPC failure" in text
         assert "crash" in text
+        text = builtin_scenarios()["data-chaos"].describe()
+        assert "surge" in text
+        assert "sensor-bias" in text
+        assert "server failures" in text
 
 
 # ---------------------------------------------------------------------------
@@ -667,6 +705,155 @@ class TestFaultInjector:
         assert isinstance(stats, FaultStats)
         assert pickle.loads(pickle.dumps(stats)) == stats
         assert stats.scenario == "x"
+
+
+# ---------------------------------------------------------------------------
+# Data-plane hazards: surges, sensor bias, server crash storms
+# ---------------------------------------------------------------------------
+
+
+class TestSurgeRateProfile:
+    def test_multiplies_inside_window_only(self):
+        profile = SurgeRateProfile(
+            ConstantRateProfile(2.0), ((100.0, 50.0, 3.0),)
+        )
+        assert profile.rate(99.0) == 2.0
+        assert profile.rate(100.0) == 6.0
+        assert profile.rate(149.0) == 6.0
+        assert profile.rate(150.0) == 2.0  # window end is exclusive
+        assert profile.max_rate == 6.0
+
+    def test_overlapping_windows_compound(self):
+        # The scenario validator forbids overlap, but the profile itself
+        # composes multiplicatively if handed one directly.
+        profile = SurgeRateProfile(
+            ConstantRateProfile(1.0), ((0.0, 100.0, 2.0), (50.0, 100.0, 3.0))
+        )
+        assert profile.rate(75.0) == 6.0
+
+    def test_max_rate_never_shrinks(self):
+        # A sub-unity "surge" (a demand dip) must not lower the thinning
+        # envelope, or acceptance probabilities would exceed 1 elsewhere.
+        profile = SurgeRateProfile(
+            ConstantRateProfile(2.0), ((0.0, 10.0, 0.5),)
+        )
+        assert profile.max_rate == 2.0
+
+    def test_injector_wraps_only_when_surges_configured(self):
+        engine = Engine()
+        base = ConstantRateProfile(1.0)
+        quiet = FaultInjector(engine, FaultScenario())
+        assert quiet.wrap_rate_profile(base) is base
+        surging = FaultInjector(
+            engine, FaultScenario(surges=((10.0, 10.0, 2.0),))
+        )
+        wrapped = surging.wrap_rate_profile(base)
+        assert isinstance(wrapped, SurgeRateProfile)
+        assert surging.surges_applied == 1
+
+
+class TestSensorBias:
+    def test_bias_scales_monitor_readings(self):
+        harness = Harness()
+        harness.monitor.sample_once()
+        true_power = harness.monitor.latest_power("row")
+        harness.monitor.set_sensor_bias(0.5)
+        harness.advance_to(60.0)
+        harness.monitor.sample_once()
+        assert harness.monitor.latest_power("row") == pytest.approx(
+            true_power * 0.5
+        )
+        # ... and per-server snapshots see the same miscalibration.
+        snapshot = harness.monitor.snapshot_server_powers("row")
+        assert sum(snapshot.values()) == pytest.approx(true_power * 0.5)
+
+    def test_true_power_is_unaffected(self):
+        harness = Harness()
+        before = harness.group.power_watts()
+        harness.monitor.set_sensor_bias(0.5)
+        assert harness.group.power_watts() == before
+
+    def test_bias_windows_counted_once_per_entry(self):
+        harness = Harness()
+        harness.monitor.set_sensor_bias(0.8)
+        harness.monitor.set_sensor_bias(0.7)  # still inside a biased spell
+        harness.monitor.set_sensor_bias(1.0)
+        harness.monitor.set_sensor_bias(0.9)
+        assert harness.monitor.bias_windows_applied == 2
+
+    def test_invalid_bias_rejected(self):
+        harness = Harness()
+        with pytest.raises(ValueError):
+            harness.monitor.set_sensor_bias(0.0)
+
+    def test_injector_schedules_bias_window(self):
+        harness = Harness()
+        scenario = FaultScenario(sensor_bias=((100.0, 50.0, 0.85),))
+        injector = FaultInjector(harness.engine, scenario)
+        injector.attach_monitor(harness.monitor)
+        injector.arm(until=1000.0)
+        harness.engine.run(until=120.0)
+        assert harness.monitor.sensor_bias == 0.85
+        harness.engine.run(until=200.0)
+        assert harness.monitor.sensor_bias == 1.0
+        assert injector.stats_snapshot().sensor_bias_windows == 1
+
+
+class TestServerCrashStorms:
+    def _armed_harness(self, scenario, until=4000.0):
+        harness = Harness(n=10)
+        injector = FaultInjector(harness.engine, scenario)
+        injector.attach_cluster(harness.inner_scheduler)
+        injector.arm(until=until)
+        return harness, injector
+
+    def test_background_churn_fails_and_repairs(self):
+        scenario = FaultScenario(
+            server_mtbf_hours=0.5, server_mttr_minutes=2.0
+        )
+        harness, injector = self._armed_harness(scenario)
+        harness.engine.run(until=4000.0)
+        stats = injector.stats_snapshot()
+        assert stats.server_failures > 0
+        assert stats.server_repairs > 0
+
+    def test_storm_window_concentrates_failures(self):
+        scenario = FaultScenario(
+            server_mtbf_hours=2000.0,
+            crash_storms=((1000.0, 600.0, 0.05),),
+            server_mttr_minutes=2.0,
+        )
+        harness, injector = self._armed_harness(scenario)
+        harness.engine.run(until=4000.0)
+        log = injector.failures.stats.log
+        assert log  # the storm produced failures
+        inside = [e for e in log if 1000.0 <= e.failed_at < 1600.0]
+        assert len(inside) == len(log)  # baseline churn is negligible
+
+    def test_storm_is_deterministic_per_seed(self):
+        scenario = FaultScenario(
+            server_mtbf_hours=100.0,
+            crash_storms=((500.0, 500.0, 0.1),),
+            server_mttr_minutes=2.0,
+            seed=5,
+        )
+
+        def failure_times():
+            harness, injector = self._armed_harness(scenario)
+            harness.engine.run(until=2000.0)
+            return [e.failed_at for e in injector.failures.stats.log]
+
+        first = failure_times()
+        assert first == failure_times()
+
+    def test_without_cluster_attachment_storms_are_inert(self):
+        harness = Harness()
+        scenario = FaultScenario(crash_storms=((100.0, 50.0, 0.1),))
+        injector = FaultInjector(harness.engine, scenario)
+        injector.arm(until=1000.0)  # no attach_cluster
+        harness.engine.run(until=1000.0)
+        assert injector.failures is None
+        assert injector.stats_snapshot().server_failures == 0
 
 
 # ---------------------------------------------------------------------------
