@@ -6,9 +6,14 @@ time and compares the full serialized result documents. Any unhandled
 exception or byte-level divergence between the two runs fails the leg:
 hazard injection must be crash-free and deterministic per seed.
 
+Scenarios that include coordinator-blackout windows run on the
+multi-row fleet harness (the only place a coordinator exists to black
+out); everything else runs the single-row controlled experiment.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/chaos_smoke.py --scenario chaos
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --scenario fleet-blackout
 
 Exit status: 0 on success, 1 on nondeterminism, 2 on crash.
 """
@@ -22,13 +27,52 @@ import traceback
 
 from repro.core.safety import SafetyConfig
 from repro.faults.scenario import builtin_scenarios
-from repro.analysis.serialize import result_to_dict
+from repro.analysis.serialize import fleet_result_to_dict, result_to_dict
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 
 
+def run_fleet_once(scenario_name: str, args: argparse.Namespace) -> str:
+    """One seeded fleet run of the scenario (coordinator hazards)."""
+    from repro.fleet.config import FleetConfig
+    from repro.sim.fleet_experiment import (
+        FleetExperiment,
+        FleetExperimentConfig,
+        FleetRowSpec,
+    )
+
+    config = FleetExperimentConfig(
+        rows=(
+            FleetRowSpec(
+                n_servers=args.servers,
+                workload=WorkloadSpec(
+                    target_utilization=0.40,
+                    bursts_per_day=4.0,
+                    burst_factor=1.3,
+                ),
+            ),
+            FleetRowSpec(
+                n_servers=args.servers,
+                workload=WorkloadSpec(target_utilization=0.06),
+            ),
+        ),
+        duration_hours=args.hours,
+        warmup_hours=1.0,  # builtin scenario times assume the 1 h warm-up
+        over_provision_ratio=args.ratio,
+        fleet=FleetConfig(policy="demand-following"),
+        seed=args.seed,
+        faults=builtin_scenarios()[scenario_name],
+        safety=SafetyConfig(),
+        telemetry_enabled=True,
+    )
+    result = FleetExperiment(config).run()
+    return json.dumps(fleet_result_to_dict(result), sort_keys=False)
+
+
 def run_once(scenario_name: str, args: argparse.Namespace) -> str:
     """One seeded run of the scenario; returns the serialized document."""
+    if builtin_scenarios()[scenario_name].coordinator_blackouts:
+        return run_fleet_once(scenario_name, args)
     config = ExperimentConfig(
         n_servers=args.servers,
         duration_hours=args.hours,

@@ -78,6 +78,49 @@ class GroupRunSummary:
         ]
 
 
+@dataclass(frozen=True)
+class FacilitySummary:
+    """Facility-level power vs the facility budget.
+
+    Absolute watts, not normalized: the facility budget is the one
+    quantity the fleet coordinator conserves, so the report shows it in
+    the units the ledger accounts in.
+    """
+
+    budget_watts: float
+    p_mean_watts: float
+    p_max_watts: float
+    violations: int
+    samples: int
+
+    def as_row(self) -> list:
+        return [
+            "facility",
+            f"{self.budget_watts:.0f} W",
+            f"{self.p_mean_watts:.0f} W",
+            f"{self.p_max_watts:.0f} W",
+            str(self.violations),
+        ]
+
+
+def summarize_facility_series(
+    budget_watts: float, power_watts: Sequence[float]
+) -> FacilitySummary:
+    """Build a :class:`FacilitySummary` from an absolute power series."""
+    if budget_watts <= 0:
+        raise ValueError(f"budget_watts must be positive, got {budget_watts}")
+    power = np.asarray(power_watts, dtype=float)
+    if power.size == 0:
+        raise ValueError("empty facility power series")
+    return FacilitySummary(
+        budget_watts=float(budget_watts),
+        p_mean_watts=float(power.mean()),
+        p_max_watts=float(power.max()),
+        violations=count_violations(power, budget_watts),
+        samples=int(power.size),
+    )
+
+
 def summarize_power_series(
     name: str,
     normalized_power: Sequence[float],
@@ -106,6 +149,8 @@ __all__ = [
     "throughput_per_watt",
     "throughput_ratio",
     "gain_in_tpw",
+    "FacilitySummary",
     "GroupRunSummary",
+    "summarize_facility_series",
     "summarize_power_series",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Union
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.analysis.metrics import GroupRunSummary
 from repro.sim.campaign import CampaignCell, CampaignResult, CampaignRow
 from repro.sim.experiment import ExperimentResult, GroupOutcome
 from repro.sim.testbed import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard fleet import
+    from repro.sim.fleet_experiment import FleetResult
 
 
 def _jsonable(value: Any) -> Any:
@@ -89,7 +92,38 @@ def result_to_dict(
         payload["breaker"] = _jsonable(result.breaker_stats.snapshot())
     if result.safety_stats is not None:
         payload["safety"] = _jsonable(result.safety_stats.snapshot())
+    if result.facility is not None:
+        payload["facility"] = _jsonable(result.facility)
     return payload
+
+
+def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
+    """A fleet run as a JSON-serializable dict (stable key order).
+
+    Imported lazily so loading this module never pulls the fleet
+    package in for single-row workflows.
+    """
+    return {
+        "config": _jsonable(result.config),
+        "rows": [
+            {
+                "name": row.name,
+                "summary": summary_to_dict(row.summary),
+                "static_budget_watts": row.static_budget_watts,
+                "final_allocation_watts": row.final_allocation_watts,
+                "rating_watts": row.rating_watts,
+                "frozen_server_minutes": row.frozen_server_minutes,
+                "breaker_trips": row.breaker_trips,
+                "mean_wait_seconds": row.mean_wait_seconds,
+                "p99_wait_seconds": row.p99_wait_seconds,
+            }
+            for row in result.rows
+        ],
+        "facility": _jsonable(result.facility),
+        "ledger": _jsonable(result.ledger),
+        "coordinator": _jsonable(result.coordinator_stats),
+        "faults": _jsonable(result.fault_stats),
+    }
 
 
 def save_result_json(
@@ -147,6 +181,8 @@ def campaign_row_to_dict(row: CampaignRow) -> Dict[str, Any]:
         "violations": row.violations,
         "trips": row.trips,
         "jobs_shed": row.jobs_shed,
+        "frozen_server_minutes": row.frozen_server_minutes,
+        "reallocations": row.reallocations,
         "error": row.error,
     }
 
@@ -162,6 +198,8 @@ def campaign_row_from_dict(doc: Dict[str, Any]) -> CampaignRow:
         violations=doc["violations"],
         trips=doc.get("trips", 0),
         jobs_shed=doc.get("jobs_shed", 0),
+        frozen_server_minutes=doc.get("frozen_server_minutes", 0.0),
+        reallocations=doc.get("reallocations", 0),
         error=doc.get("error"),
     )
 
@@ -187,6 +225,7 @@ def load_campaign_result(path: Union[str, Path]) -> CampaignResult:
 
 
 __all__ = [
+    "fleet_result_to_dict",
     "result_to_dict",
     "summary_to_dict",
     "outcome_to_dict",

@@ -8,6 +8,8 @@ Exposes the main experiment harnesses without writing Python::
     ampere-repro calibrate --hours 12
     ampere-repro interactive --hours 2
     ampere-repro trace --days 1
+    ampere-repro fleet --hours 6 --policies static demand-following
+    ampere-repro campaign --fleet-policy demand-following --hours 6
     ampere-repro metrics --hours 2 --json snapshot.json
     ampere-repro spans --hours 2
 
@@ -15,6 +17,10 @@ Exposes the main experiment harnesses without writing Python::
 named fault scenarios from :mod:`repro.faults` -- control-plane and
 data-plane alike -- and ``--safety`` arms the breaker-trip physics plus
 the defense-in-depth emergency ladder of :mod:`repro.core.safety`.
+``fleet`` runs the
+multi-row facility A/B of :mod:`repro.sim.fleet_experiment` -- the same
+seeded fleet under each budget-reallocation policy -- and ``campaign
+--fleet-policy`` runs every campaign cell on the two-row fleet harness.
 ``metrics``
 and ``spans`` run a telemetry-enabled experiment and expose the
 :mod:`repro.telemetry` registry and control-loop span traces; the global
@@ -32,6 +38,7 @@ from typing import List, Optional
 
 from repro.analysis.report import format_percent, render_table
 from repro.faults.scenario import builtin_scenarios
+from repro.fleet.config import POLICY_NAMES
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
 from repro.sim.testbed import WorkloadSpec
 from repro.telemetry import configure_logging
@@ -175,6 +182,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm the breaker model and emergency safety ladder in every cell",
     )
+    campaign.add_argument(
+        "--fleet-policy",
+        choices=POLICY_NAMES,
+        default=None,
+        metavar="POLICY",
+        help="run every cell on the two-row fleet harness under this "
+        f"budget-reallocation policy ({', '.join(POLICY_NAMES)})",
+    )
+    campaign.add_argument(
+        "--fleet-skew",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="cold-row intensity as a fraction of the cell workload "
+        "(fleet cells only)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-row facility A/B: static split vs dynamic "
+        "budget reallocation (repro.fleet)",
+    )
+    fleet.add_argument("--seed", type=int, default=7, help="master RNG seed")
+    fleet.add_argument(
+        "--servers-per-row",
+        type=int,
+        default=80,
+        help="row size (multiple of 40); the fleet has one hot and one cold row",
+    )
+    fleet.add_argument("--hours", type=float, default=6.0)
+    fleet.add_argument("--ro", type=float, default=0.25, help="over-provision ratio")
+    fleet.add_argument(
+        "--policies",
+        nargs="+",
+        choices=POLICY_NAMES,
+        default=["static", "demand-following"],
+        help="reallocation policies to A/B against each other",
+    )
+    fleet.add_argument(
+        "--hot-util",
+        type=float,
+        default=0.40,
+        help="target utilization of the hot row",
+    )
+    fleet.add_argument(
+        "--cold-util",
+        type=float,
+        default=0.06,
+        help="target utilization of the cold (donor) row",
+    )
+    fleet.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the per-policy result documents to PATH",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -230,6 +294,19 @@ def _add_telemetry_run_args(parser: argparse.ArgumentParser) -> None:
         choices=sorted(SCENARIOS),
         default=None,
         help="inject a named control-plane fault scenario",
+    )
+
+
+def _print_facility_line(result: ExperimentResult) -> None:
+    """Facility-level roll-up of one run (absolute watts)."""
+    facility = result.facility
+    if facility is None:
+        return
+    print(
+        f"facility: budget={facility.budget_watts:.0f} W  "
+        f"P_mean={facility.p_mean_watts:.0f} W  "
+        f"P_max={facility.p_max_watts:.0f} W  "
+        f"violations={facility.violations}"
     )
 
 
@@ -316,6 +393,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nr_T = {result.r_t:.3f}   G_TPW = {format_percent(result.g_tpw)}")
+    _print_facility_line(result)
     _print_fault_report(result)
     _print_safety_report(result)
     return 0
@@ -439,8 +517,14 @@ def cmd_advise(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.core.safety import SafetyConfig
+    from repro.fleet.config import FleetConfig
     from repro.sim.campaign import Campaign, CampaignCell, CampaignRow
 
+    fleet = (
+        FleetConfig(policy=args.fleet_policy)
+        if args.fleet_policy is not None
+        else None
+    )
     campaign = Campaign(
         ratios=tuple(args.ratios),
         seeds=tuple(args.seeds),
@@ -448,6 +532,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         duration_hours=args.hours,
         faults=SCENARIOS[args.faults] if args.faults else None,
         safety=SafetyConfig() if args.safety else None,
+        fleet=fleet,
+        fleet_skew=args.fleet_skew,
     )
     workers: Optional[int] = args.workers
     if workers is not None and workers < 1:
@@ -462,11 +548,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     def progress(cell: CampaignCell, row: CampaignRow) -> None:
         done[0] += 1
-        status = (
-            f"G_TPW = {format_percent(row.g_tpw)}"
-            if row.ok
-            else f"FAILED ({row.error})"
-        )
+        if not row.ok:
+            status = f"FAILED ({row.error})"
+        elif fleet is not None:
+            status = f"frozen = {row.frozen_server_minutes:.0f} server-min"
+        else:
+            status = f"G_TPW = {format_percent(row.g_tpw)}"
         print(f"  [{done[0]}/{total}] {cell.label()}: {status}", flush=True)
 
     if workers is not None:
@@ -477,33 +564,128 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         result = campaign.run(on_cell=progress)
     if result.failed_rows:
         print(f"warning: {len(result.failed_rows)} cells failed; see rows below")
-    headers = ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"]
-    if args.safety:
-        headers += ["trips", "shed"]
-    rows = []
-    for row in result.rows:
-        cells = [
-            f"{row.cell.over_provision_ratio:.2f}",
-            row.cell.workload_name,
-            f"{row.p_mean:.3f}",
-            format_percent(row.u_mean),
-            f"{row.r_t:.3f}",
-            format_percent(row.g_tpw),
-            str(row.violations),
+    if fleet is not None:
+        # Fleet cells have no uncontrolled twin, so r_T / G_TPW do not
+        # exist; the capacity story is frozen time and budget moves.
+        headers = [
+            "r_O", "workload", "P_mean", "u_mean", "frozen (srv-min)",
+            "reallocs", "violations", "trips",
         ]
+        rows = [
+            [
+                f"{row.cell.over_provision_ratio:.2f}",
+                row.cell.workload_name,
+                f"{row.p_mean:.3f}",
+                format_percent(row.u_mean),
+                f"{row.frozen_server_minutes:.0f}",
+                str(row.reallocations),
+                str(row.violations),
+                str(row.trips),
+            ]
+            for row in result.rows
+        ]
+        print(render_table(headers, rows))
+    else:
+        headers = ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"]
         if args.safety:
-            cells += [str(row.trips), str(row.jobs_shed)]
-        rows.append(cells)
-    print(render_table(headers, rows))
-    try:
-        print(f"\nworst-case-optimal r_O: {result.best_ratio('worst_case'):.2f}")
-    except KeyError:
-        # Some (ratio, workload) combinations have only failed rows; a
-        # partial sweep still prints its table.
-        print("\nworst-case-optimal r_O: n/a (failed cells)")
+            headers += ["trips", "shed"]
+        rows = []
+        for row in result.rows:
+            cells = [
+                f"{row.cell.over_provision_ratio:.2f}",
+                row.cell.workload_name,
+                f"{row.p_mean:.3f}",
+                format_percent(row.u_mean),
+                f"{row.r_t:.3f}",
+                format_percent(row.g_tpw),
+                str(row.violations),
+            ]
+            if args.safety:
+                cells += [str(row.trips), str(row.jobs_shed)]
+            rows.append(cells)
+        print(render_table(headers, rows))
+        try:
+            print(f"\nworst-case-optimal r_O: {result.best_ratio('worst_case'):.2f}")
+        except KeyError:
+            # Some (ratio, workload) combinations have only failed rows; a
+            # partial sweep still prints its table.
+            print("\nworst-case-optimal r_O: n/a (failed cells)")
     if args.csv:
         result.save_csv(args.csv)
         print(f"rows written to {args.csv}")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.sim.fleet_experiment import (
+        FleetExperimentConfig,
+        FleetRowSpec,
+        run_fleet_ab,
+    )
+
+    config = FleetExperimentConfig(
+        rows=(
+            FleetRowSpec(
+                n_servers=args.servers_per_row,
+                workload=WorkloadSpec(
+                    target_utilization=args.hot_util,
+                    bursts_per_day=4.0,
+                    burst_factor=1.3,
+                ),
+            ),
+            FleetRowSpec(
+                n_servers=args.servers_per_row,
+                workload=WorkloadSpec(target_utilization=args.cold_util),
+            ),
+        ),
+        duration_hours=args.hours,
+        warmup_hours=min(1.0, args.hours / 4.0),
+        over_provision_ratio=args.ro,
+        seed=args.seed,
+    )
+    results = run_fleet_ab(config, policies=tuple(args.policies))
+    rows = []
+    for policy, result in results.items():
+        stats = result.coordinator_stats
+        rows.append(
+            [
+                policy,
+                f"{result.total_frozen_server_minutes:.0f}",
+                str(result.total_violations),
+                str(result.total_breaker_trips),
+                str(stats.reallocations if stats is not None else 0),
+                f"{stats.watts_moved:.0f}" if stats is not None else "0",
+                str(result.total_throughput),
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "frozen (srv-min)", "violations", "trips",
+             "reallocs", "W moved", "jobs done"],
+            rows,
+        )
+    )
+    print()
+    for policy, result in results.items():
+        facility = result.facility
+        print(
+            f"{policy}: facility P_mean={facility.p_mean_watts:.0f} W  "
+            f"P_max={facility.p_max_watts:.0f} W  "
+            f"budget={facility.budget_watts:.0f} W  "
+            f"violations={facility.violations}"
+        )
+    if args.json:
+        import json
+
+        from repro.analysis.serialize import fleet_result_to_dict
+
+        payload = {
+            policy: fleet_result_to_dict(result)
+            for policy, result in results.items()
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -591,6 +773,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "advise": cmd_advise,
     "campaign": cmd_campaign,
+    "fleet": cmd_fleet,
     "metrics": cmd_metrics,
     "spans": cmd_spans,
 }

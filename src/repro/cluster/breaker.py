@@ -134,6 +134,12 @@ class RowBreaker:
     reset_delay_seconds:
         Operator response time before the breaker is closed again and
         the row re-energized.
+    rating_watts:
+        The *physical* feed rating the trip curve is anchored to. A
+        breaker is hardware: its pickup current never moves when a fleet
+        coordinator re-divides budgets between rows. Defaults to the
+        group's budget at construction time (identical behaviour for
+        statically provisioned runs) and stays pinned thereafter.
     """
 
     def __init__(
@@ -146,6 +152,7 @@ class RowBreaker:
         reset_delay_seconds: float = 900.0,
         event_log: Optional["ControlEventLog"] = None,
         telemetry: Optional["Telemetry"] = None,
+        rating_watts: Optional[float] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -153,6 +160,13 @@ class RowBreaker:
             raise ValueError(
                 f"reset_delay_seconds must be positive, got {reset_delay_seconds}"
             )
+        if rating_watts is not None and rating_watts <= 0:
+            raise ValueError(
+                f"rating_watts must be positive, got {rating_watts}"
+            )
+        self.rating_watts = float(
+            rating_watts if rating_watts is not None else group.power_budget_watts
+        )
         self.group = group
         self.engine = engine
         self.scheduler = scheduler
@@ -205,7 +219,7 @@ class RowBreaker:
         """One thermal-element evaluation against true group power."""
         if self.tripped:
             return  # the feed is open; nothing flows until reset
-        ratio = self.group.power_watts() / self.group.power_budget_watts
+        ratio = self.group.power_watts() / self.rating_watts
         if ratio >= self.curve.instant_trip_ratio:
             self._trip(ratio, reason="instantaneous")
             return

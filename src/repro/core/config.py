@@ -58,6 +58,14 @@ class AmpereConfig:
         Total wall-clock the controller may burn on RPCs in one tick
         (latency plus back-off). The control loop must never overrun its
         interval chasing a dead scheduler endpoint.
+    history_window:
+        Retention bound (in control ticks) on the per-row commanded-u /
+        timestamp / residual histories. 0 keeps everything (the default,
+        matching the historical behaviour pinned by the goldens); a
+        positive value turns the histories into ring buffers whose
+        ``u_mean`` / ``u_max`` / ``residual_summary`` statistics are
+        exact over the retained window. Long fleet campaigns set this to
+        bound controller memory.
     """
 
     control_interval: float = 60.0
@@ -70,6 +78,7 @@ class AmpereConfig:
     rpc_max_attempts: int = 4
     rpc_backoff_base_seconds: float = 0.5
     rpc_deadline_seconds: float = 15.0
+    history_window: int = 0
 
     def __post_init__(self) -> None:
         if self.control_interval <= 0:
@@ -104,6 +113,10 @@ class AmpereConfig:
         if self.rpc_deadline_seconds <= 0:
             raise ValueError(
                 f"rpc_deadline_seconds must be positive, got {self.rpc_deadline_seconds}"
+            )
+        if self.history_window < 0:
+            raise ValueError(
+                f"history_window must be non-negative, got {self.history_window}"
             )
 
 

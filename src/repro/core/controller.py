@@ -61,6 +61,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 from repro.cluster.group import ServerGroup
 from repro.core.config import AmpereConfig
 from repro.core.demand import ConstantDemandEstimator, DemandEstimator
+from repro.core.history import BoundedHistory
 from repro.core.freeze_model import FreezeEffectModel
 from repro.core.policy import plan_freeze_set
 from repro.core.rhc import pcp_optimal_sequence, spcp_optimal_ratio, threshold_ratio
@@ -79,7 +80,9 @@ class HealthEvent:
     """One noteworthy defensive action of the control loop."""
 
     time: float
-    kind: str  # "degraded" | "skipped" | "rpc_giveup" | "reconcile" | "crash" | "recover"
+    #: "degraded" | "skipped" | "rpc_giveup" | "reconcile" | "crash" |
+    #: "recover" | "budget_changed"
+    kind: str
     group: str
     detail: str = ""
 
@@ -115,6 +118,8 @@ class ControllerHealth:
     reconciliation_diff_total: int = 0
     crashes: int = 0
     recoveries: int = 0
+    #: mid-run budget (allocation) changes applied by a fleet coordinator
+    budget_updates: int = 0
     events: List[HealthEvent] = field(default_factory=list)
 
     def bind(self, telemetry: Telemetry) -> None:
@@ -167,6 +172,7 @@ class ControllerHealth:
             "reconciliation_diff_total": self.reconciliation_diff_total,
             "crashes": self.crashes,
             "recoveries": self.recoveries,
+            "budget_updates": self.budget_updates,
         }
 
 
@@ -180,14 +186,22 @@ class RowControlState:
     active_ticks: int = 0
     freeze_actions: int = 0
     unfreeze_actions: int = 0
-    #: history of (time, commanded u_t) -- Table 2's u_mean / u_max inputs
-    u_history: List[float] = field(default_factory=list)
-    u_times: List[float] = field(default_factory=list)
+    #: history of (time, commanded u_t) -- Table 2's u_mean / u_max inputs.
+    #: Ring buffers when ``AmpereConfig.history_window`` is set; the
+    #: statistics below are exact over whatever window is retained.
+    u_history: BoundedHistory = field(default_factory=BoundedHistory)
+    u_times: BoundedHistory = field(default_factory=BoundedHistory)
     #: one-step prediction residuals: actual P_{t+1} minus the model's
     #: P_t + E_t - k_r * u_t. Negative on average when E_t is the paper's
     #: conservative 99.5th-percentile margin -- by design; RHC feedback is
     #: what absorbs this bias every interval.
-    prediction_residuals: List[float] = field(default_factory=list)
+    prediction_residuals: BoundedHistory = field(default_factory=BoundedHistory)
+    #: running sum / count of every commanded u_t of the whole run --
+    #: unlike the (possibly bounded) histories these never truncate, so
+    #: frozen-server-minutes and full-run means stay exact regardless of
+    #: the retention window
+    u_integral: float = 0.0
+    u_samples: int = 0
     #: the frozen set the controller *meant* to leave behind last tick;
     #: compared against the scheduler's authoritative set to detect RPC
     #: intents that never landed (reconciliation)
@@ -274,9 +288,8 @@ class AmpereController:
         for group in groups:
             if group.name in self.states:
                 raise ValueError(f"duplicate controlled group {group.name!r}")
-            self.states[group.name] = RowControlState(
-                group=group,
-                server_ids=frozenset(s.server_id for s in group.servers),
+            self.states[group.name] = self._new_state(
+                group, frozenset(s.server_id for s in group.servers)
             )
             labels = {"group": group.name}
             self._row_instruments[group.name] = {
@@ -310,9 +323,25 @@ class AmpereController:
                     "Servers the controller intends frozen after its last tick",
                     labels,
                 ),
+                "budget": self.telemetry.gauge(
+                    "repro_controller_budget_watts",
+                    "Current power budget (allocation) the row steers against",
+                    labels,
+                ),
             }
         if not self.states:
             raise ValueError("controller needs at least one group to control")
+
+    def _new_state(self, group: ServerGroup, server_ids: frozenset) -> RowControlState:
+        """Fresh per-row state honouring the configured retention window."""
+        window = self.config.history_window
+        return RowControlState(
+            group=group,
+            server_ids=server_ids,
+            u_history=BoundedHistory(limit=window),
+            u_times=BoundedHistory(limit=window),
+            prediction_residuals=BoundedHistory(limit=window),
+        )
 
     def start(self, until: float, first_at: Optional[float] = None) -> None:
         """Begin the periodic control loop."""
@@ -347,7 +376,7 @@ class AmpereController:
             "controller crashed at t=%.0fs; in-memory state lost", self.engine.now
         )
         self.states = {
-            name: RowControlState(group=state.group, server_ids=state.server_ids)
+            name: self._new_state(state.group, state.server_ids)
             for name, state in self.states.items()
         }
 
@@ -370,8 +399,17 @@ class AmpereController:
                 )
             except KeyError:
                 times, values = (), ()
-            state.u_times = [float(t) for t in times]
-            state.u_history = [float(v) for v in values]
+            window = self.config.history_window
+            state.u_times = BoundedHistory(
+                (float(t) for t in times), limit=window
+            )
+            state.u_history = BoundedHistory(
+                (float(v) for v in values), limit=window
+            )
+            # The full-run integral is durable too: the TSDB holds every
+            # commanded u, not just the retained window.
+            state.u_integral = float(sum(float(v) for v in values))
+            state.u_samples = len(values)
         self._crashed = False
         self.health.bump("recoveries")
         self.health.note(
@@ -384,6 +422,52 @@ class AmpereController:
             "controller recovered at t=%.0fs from TSDB + scheduler frozen set",
             self.engine.now,
         )
+
+    # ------------------------------------------------------------------
+    # Mid-run budget updates (the fleet-coordinator seam)
+    # ------------------------------------------------------------------
+    def update_budget(self, group_name: str, budget_watts: float) -> bool:
+        """Apply a new power allocation to one controlled row mid-run.
+
+        The group's ``power_budget_watts`` is the denominator of every
+        normalized quantity the controller steers on, so the next tick
+        recomputes ``r_threshold = P_M - E_t`` against the new allocation
+        automatically -- no restart, no state loss. The change is
+        recorded as a ``budget_changed`` health event and mirrored to the
+        ``repro_controller_budget_watts`` gauge.
+
+        Returns True when the budget actually changed (the coordinator's
+        reallocation counters only count real moves).
+        """
+        state = self.state_of(group_name)
+        if not math.isfinite(budget_watts) or budget_watts <= 0:
+            raise ValueError(
+                f"budget_watts must be positive and finite, got {budget_watts}"
+            )
+        old = state.group.power_budget_watts
+        if budget_watts == old:
+            return False
+        state.group.power_budget_watts = float(budget_watts)
+        # The pending one-step prediction was made in old-budget units;
+        # comparing the next (re-normalized) sample against it would
+        # record a spurious residual.
+        state._last_prediction = None
+        self.health.bump("budget_updates")
+        self.health.note(
+            self.engine.now,
+            "budget_changed",
+            group_name,
+            f"{old:.0f}W -> {budget_watts:.0f}W",
+        )
+        self._row_instruments[group_name]["budget"].set(float(budget_watts))
+        logger.info(
+            "group %s: budget updated %.0fW -> %.0fW at t=%.0fs",
+            group_name,
+            old,
+            budget_watts,
+            self.engine.now,
+        )
+        return True
 
     # ------------------------------------------------------------------
     def tick(self) -> None:
@@ -405,6 +489,21 @@ class AmpereController:
             )
         except (KeyError, LookupError):
             return  # no sample yet; act next interval
+        # Re-normalize against the *current* budget: a fleet coordinator
+        # may have moved this row's allocation after the monitor stored
+        # the sample (the stored value is normalized to the budget at
+        # sample time). With an unchanged budget this repeats the exact
+        # division the monitor performed -- bit-identical. A normalized
+        # sample without a matching absolute sample (direct test writes,
+        # replays) is honoured as-is.
+        try:
+            watts_time, watts = self.monitor.latest_power_sample(
+                state.group.name
+            )
+        except (AttributeError, KeyError, LookupError):
+            watts_time = None
+        if watts_time == sample_time:
+            p_norm = watts / state.group.power_budget_watts
         currently_frozen = set(self.scheduler.frozen_server_ids() & state.server_ids)
         self._reconcile(state, currently_frozen, now)
 
@@ -464,6 +563,8 @@ class AmpereController:
         instruments["frozen"].set(len(state.intended_frozen))
         state.u_history.append(commanded_u)
         state.u_times.append(now)
+        state.u_integral += commanded_u
+        state.u_samples += 1
         state._last_prediction = (
             p_norm + e_t - self.freeze_model.predict(min(1.0, commanded_u))
         )
@@ -545,6 +646,8 @@ class AmpereController:
         state.intended_frozen = frozenset(held | state.intended_frozen)
         state.u_history.append(len(held) / len(state.group.servers))
         state.u_times.append(now)
+        state.u_integral += len(held) / len(state.group.servers)
+        state.u_samples += 1
         # No valid observation this tick: the next residual would compare
         # a fresh sample against a prediction made from stale data.
         state._last_prediction = None

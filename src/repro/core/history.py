@@ -1,0 +1,89 @@
+"""Bounded append-only history: the ring buffer behind RowControlState.
+
+The controller records one commanded-``u`` sample (plus a timestamp and a
+prediction residual) per control interval and per row. Unbounded, those
+lists grow for the entire run -- harmless for a 24 h experiment, a real
+memory leak for multi-row fleet campaigns that run for simulated weeks.
+
+:class:`BoundedHistory` is a drop-in replacement: it quacks like the list
+the rest of the code (and the tests) expect -- ``append``, iteration,
+indexing, ``len``, equality against plain lists, ``np.asarray`` -- but
+retains at most ``limit`` most-recent items (``limit=0`` keeps the
+historical unbounded behaviour, which is what the golden trajectories
+pin). Statistics computed over it (``u_mean``/``u_max``/
+``residual_summary``) are *exact over the retained window* by
+construction: they iterate the retained items, never an approximation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+
+class BoundedHistory:
+    """List-like append-only series keeping the last ``limit`` items.
+
+    ``limit=0`` (the default) means unbounded -- identical retention to a
+    plain list. The implementation is a ``collections.deque`` with
+    ``maxlen``, so bounded appends are O(1) ring-buffer writes, never a
+    shift or reallocation.
+    """
+
+    __slots__ = ("_items", "limit")
+
+    def __init__(self, items: Iterable[float] = (), limit: int = 0) -> None:
+        limit = int(limit)
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        self.limit = limit
+        self._items: deque = deque(items, maxlen=limit if limit else None)
+
+    def append(self, value: float) -> None:
+        self._items.append(value)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return list(self._items)[index]
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise equality against any sequence (lists in tests)."""
+        if isinstance(other, BoundedHistory):
+            return list(self._items) == list(other._items)
+        if isinstance(other, (list, tuple, deque)):
+            return list(self._items) == list(other)
+        return NotImplemented
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """Support ``np.asarray(history)`` (GroupOutcome collection)."""
+        return np.array(list(self._items), dtype=dtype if dtype else float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BoundedHistory({list(self._items)!r}, limit={self.limit})"
+
+    # Deques are picklable, but __slots__ classes need explicit state.
+    def __getstate__(self) -> tuple:
+        return (list(self._items), self.limit)
+
+    def __setstate__(self, state: tuple) -> None:
+        items, limit = state
+        self.limit = limit
+        self._items = deque(items, maxlen=limit if limit else None)
+
+
+__all__ = ["BoundedHistory"]

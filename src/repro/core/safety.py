@@ -176,7 +176,18 @@ class SafetySupervisor:
         breaker: Optional["RowBreaker"] = None,
         event_log: Optional["ControlEventLog"] = None,
         telemetry: Optional["Telemetry"] = None,
+        rating_watts: Optional[float] = None,
     ) -> None:
+        if rating_watts is not None and rating_watts <= 0:
+            raise ValueError(
+                f"rating_watts must be positive, got {rating_watts}"
+            )
+        # Ladder thresholds are anchored to the *physical* feed rating,
+        # like the breaker's pickup current: a fleet coordinator moving a
+        # row's allocation must never move the emergency thresholds.
+        self.rating_watts = float(
+            rating_watts if rating_watts is not None else group.power_budget_watts
+        )
         self.engine = engine
         self.group = group
         self.scheduler = scheduler
@@ -232,7 +243,7 @@ class SafetySupervisor:
             # nothing to protect until the operator resets the feed.
             return
 
-        ratio = self.group.power_watts() / self.group.power_budget_watts
+        ratio = self.group.power_watts() / self.rating_watts
         thermal = self.breaker.thermal_fraction if self.breaker is not None else 0.0
         assessed = self._assess(ratio, thermal)
 
@@ -329,8 +340,7 @@ class SafetySupervisor:
     def _shed(self, ratio: float) -> None:
         """Drop batch work, hottest server first, until under the release
         line (projected on true power, re-read after each server)."""
-        budget = self.group.power_budget_watts
-        target = self.config.release_ratio * budget
+        target = self.config.release_ratio * self.rating_watts
         victims = sorted(
             (s for s in self.group.servers if not (s.failed or s.powered_off)),
             key=lambda s: (-s.power_watts(), s.server_id),

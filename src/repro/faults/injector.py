@@ -32,6 +32,7 @@ from repro.workload.generator import RateProfile, SurgeRateProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.controller import AmpereController
+    from repro.fleet.coordinator import FleetCoordinator
     from repro.monitor.power_monitor import PowerMonitor
     from repro.scheduler.omega import OmegaScheduler
 
@@ -57,6 +58,7 @@ class FaultStats:
     server_failures: int = 0
     server_repairs: int = 0
     jobs_killed_by_failures: int = 0
+    coordinator_blackouts_injected: int = 0
 
 
 class FaultInjector:
@@ -74,7 +76,9 @@ class FaultInjector:
         #: transit" the way control RPCs do
         self.cluster_scheduler: Optional["OmegaScheduler"] = None
         self.failures: Optional[ServerFailureInjector] = None
+        self.coordinator: Optional["FleetCoordinator"] = None
         self.blackouts_injected = 0
+        self.coordinator_blackouts_injected = 0
         self.crashes_injected = 0
         self.surges_applied = 0
         self._armed = False
@@ -102,6 +106,10 @@ class FaultInjector:
 
     def attach_controller(self, controller: "AmpereController") -> None:
         self.controller = controller
+
+    def attach_coordinator(self, coordinator: "FleetCoordinator") -> None:
+        """Give the injector the fleet coordinator for blackout windows."""
+        self.coordinator = coordinator
 
     def attach_cluster(self, scheduler: "OmegaScheduler") -> None:
         """Give the injector the real scheduler for data-plane hazards
@@ -157,6 +165,18 @@ class FaultInjector:
                     crash_at + self.scenario.restart_delay_seconds,
                     EventPriority.FAULT,
                     self._restart,
+                )
+        if self.coordinator is not None:
+            for start, duration in self.scenario.coordinator_blackouts:
+                if start < now or start >= until:
+                    continue
+                self.engine.schedule(
+                    start, EventPriority.FAULT, self._begin_coordinator_blackout
+                )
+                self.engine.schedule(
+                    start + duration,
+                    EventPriority.FAULT,
+                    self._end_coordinator_blackout,
                 )
         if (
             self.cluster_scheduler is not None
@@ -222,6 +242,20 @@ class FaultInjector:
         assert self.monitor is not None
         self.monitor.set_sensor_bias(1.0)
 
+    def _begin_coordinator_blackout(self) -> None:
+        assert self.coordinator is not None
+        self.coordinator_blackouts_injected += 1
+        logger.info(
+            "injecting coordinator blackout #%d at t=%.0fs",
+            self.coordinator_blackouts_injected,
+            self.engine.now,
+        )
+        self.coordinator.blackout_begin()
+
+    def _end_coordinator_blackout(self) -> None:
+        assert self.coordinator is not None
+        self.coordinator.blackout_end()
+
     def _begin_storm(self, storm_mtbf_hours: float) -> None:
         assert self.failures is not None
         logger.warning(
@@ -261,6 +295,7 @@ class FaultInjector:
             jobs_killed_by_failures=(
                 self.failures.stats.jobs_killed if self.failures is not None else 0
             ),
+            coordinator_blackouts_injected=self.coordinator_blackouts_injected,
         )
 
 

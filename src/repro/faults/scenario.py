@@ -98,6 +98,13 @@ class FaultScenario:
         per-server MTBF drops to ``mtbf_hours`` (a bad kernel rollout, a
         cooling failure). Requires the failure process, which is armed
         automatically when any storm is configured.
+    coordinator_blackouts:
+        ``(start_seconds, duration_seconds)`` windows during which the
+        fleet coordinator loses its view of the facility (its process is
+        partitioned from the monitoring plane). The budget ledger
+        freezes at the last-good division; row controllers keep running
+        against their frozen allocations. No-op in runs without a fleet
+        coordinator.
     seed:
         Seed of the fault-injection RNGs (independent of the
         experiment's).
@@ -115,6 +122,7 @@ class FaultScenario:
     server_mtbf_hours: float = 0.0
     server_mttr_minutes: float = 60.0
     crash_storms: Tuple[Tuple[float, float, float], ...] = ()
+    coordinator_blackouts: Tuple[Tuple[float, float], ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -143,7 +151,13 @@ class FaultScenario:
             "crash_storms",
             tuple((float(s), float(d), float(m)) for s, d, m in self.crash_storms),
         )
+        object.__setattr__(
+            self,
+            "coordinator_blackouts",
+            tuple((float(s), float(d)) for s, d in self.coordinator_blackouts),
+        )
         _check_windows("blackout", self.blackouts)
+        _check_windows("coordinator_blackout", self.coordinator_blackouts)
         _check_windows("surge", [(s, d) for s, d, _ in self.surges])
         _check_windows("sensor_bias", [(s, d) for s, d, _ in self.sensor_bias])
         _check_windows("crash_storm", [(s, d) for s, d, _ in self.crash_storms])
@@ -217,6 +231,12 @@ class FaultScenario:
                 f"{len(self.sensor_bias)} sensor-bias window(s), "
                 f"down to {worst:.2f}x"
             )
+        if self.coordinator_blackouts:
+            total = sum(d for _, d in self.coordinator_blackouts)
+            parts.append(
+                f"{len(self.coordinator_blackouts)} coordinator blackout(s), "
+                f"{total / 60:.0f} min total"
+            )
         if self.wants_server_failures:
             base = (
                 f"MTBF {self.server_mtbf_hours:.0f}h"
@@ -267,6 +287,10 @@ def builtin_scenarios() -> Dict[str, FaultScenario]:
             server_mtbf_hours=2000.0,
             crash_storms=((4200.0, 900.0, 25.0),),
             server_mttr_minutes=20.0,
+        ),
+        "fleet-blackout": FaultScenario(
+            name="fleet-blackout",
+            coordinator_blackouts=((4800.0, 1800.0),),
         ),
         "data-chaos": FaultScenario(
             name="data-chaos",

@@ -1,0 +1,44 @@
+"""repro.fleet -- hierarchical facility-level power budgeting.
+
+The paper controls each row against a fixed budget. This package adds
+the layer above: a :class:`FleetCoordinator` that re-divides one
+facility budget between rows on a slow cadence, through a
+:class:`BudgetLedger` that enforces conservation and safety invariants,
+using a pluggable :class:`ReallocationPolicy`.
+"""
+
+from repro.fleet.config import FleetConfig, POLICY_NAMES
+from repro.fleet.coordinator import (
+    COORDINATOR_EVENT_ID,
+    CoordinatorStats,
+    FleetCoordinator,
+)
+from repro.fleet.ledger import BudgetLedger, LedgerError, LedgerStats, RowBudget
+from repro.fleet.policy import (
+    DemandFollowingPolicy,
+    ProportionalPolicy,
+    ReallocationPolicy,
+    RowDemand,
+    StaticPolicy,
+    make_policy,
+    sanitize_allocations,
+)
+
+__all__ = [
+    "BudgetLedger",
+    "COORDINATOR_EVENT_ID",
+    "CoordinatorStats",
+    "DemandFollowingPolicy",
+    "FleetConfig",
+    "FleetCoordinator",
+    "LedgerError",
+    "LedgerStats",
+    "POLICY_NAMES",
+    "ProportionalPolicy",
+    "ReallocationPolicy",
+    "RowBudget",
+    "RowDemand",
+    "StaticPolicy",
+    "make_policy",
+    "sanitize_allocations",
+]

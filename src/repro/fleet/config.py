@@ -1,0 +1,142 @@
+"""Configuration for the facility-level fleet coordinator.
+
+The paper provisions every row independently: each row's budget is fixed
+at build time and the Ampere controller defends it forever. A facility
+operator holds a second lever the per-row loop cannot see -- the *split*
+of the facility budget between rows. :class:`FleetConfig` parameterizes
+the slow loop that works that lever: how often it runs, how it estimates
+per-row demand, how aggressively it moves budget, and the hysteresis
+that keeps it from thrashing against the fast per-row controllers.
+
+All knobs are plain floats/ints so a config pickles cleanly into
+campaign cells and serialized results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: the reallocation policies :func:`repro.fleet.policy.make_policy` knows
+POLICY_NAMES = ("static", "proportional", "demand-following")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the facility-level budget coordinator.
+
+    Attributes
+    ----------
+    policy:
+        Reallocation policy name: ``static`` (never move budget --
+        bit-identical to independently provisioned rows),
+        ``proportional`` (water-fill on recent demand), or
+        ``demand-following`` (shift budget toward rows under sustained
+        freeze pressure, with hysteresis).
+    cadence_intervals:
+        Coordinator period in *controller* control intervals. The fleet
+        loop must be slow relative to the per-row loop so the fast loop
+        settles between budget moves (time-scale separation).
+    window_seconds:
+        Lookback over which per-row demand statistics are computed.
+    demand_percentile:
+        Percentile of the observed row power used as the demand
+        estimate; the safety floor is anchored to it. 99.5 mirrors the
+        paper's tail-provisioning convention.
+    floor_margin:
+        Multiplier on the demand percentile when deriving a row's
+        allocation floor -- the coordinator may never starve a row below
+        ``floor_margin * p(demand_percentile)``.
+    min_allocation_fraction:
+        Absolute floor as a fraction of the row's static budget, even
+        when observed demand is tiny. Guards cold rows against being
+        bled to nothing and then freezing solid on a demand surge the
+        window never saw.
+    max_step_fraction:
+        Largest per-coordinator-tick change of one row's allocation, as
+        a fraction of its static budget (anti-thrash rate limit).
+    pressure_high / pressure_low:
+        Hysteresis thresholds on the smoothed freeze-pressure signal:
+        a row becomes a budget *receiver* above ``pressure_high`` and a
+        *donor* below ``pressure_low``. The dead band between them keeps
+        marginal rows from oscillating donor/receiver each tick.
+    pressure_ema_rho:
+        Weight of the newest pressure observation in the exponential
+        moving average (1.0 = no smoothing).
+    max_staleness_seconds:
+        If any row's latest power sample is older than this, the
+        coordinator holds every allocation -- reallocating on stale
+        demand could starve a row whose surge the dead sensor hid.
+    rating_headroom:
+        Physical feed rating of each row as a multiple of its static
+        budget. Allocations are clamped to the rating: breakers are
+        hardware and the coordinator may never push a row's budget past
+        what its feed can carry.
+    """
+
+    policy: str = "static"
+    cadence_intervals: int = 10
+    window_seconds: float = 3600.0
+    demand_percentile: float = 99.5
+    floor_margin: float = 1.05
+    min_allocation_fraction: float = 0.4
+    max_step_fraction: float = 0.10
+    pressure_high: float = 0.10
+    pressure_low: float = 0.02
+    pressure_ema_rho: float = 0.5
+    max_staleness_seconds: float = 180.0
+    rating_headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown fleet policy {self.policy!r}; expected one of "
+                f"{POLICY_NAMES}"
+            )
+        if self.cadence_intervals < 1:
+            raise ValueError(
+                f"cadence_intervals must be >= 1, got {self.cadence_intervals}"
+            )
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if not 0.0 < self.demand_percentile <= 100.0:
+            raise ValueError(
+                "demand_percentile must be in (0, 100], got "
+                f"{self.demand_percentile}"
+            )
+        if self.floor_margin < 1.0:
+            raise ValueError(
+                f"floor_margin must be >= 1.0, got {self.floor_margin}"
+            )
+        if not 0.0 <= self.min_allocation_fraction <= 1.0:
+            raise ValueError(
+                "min_allocation_fraction must be in [0, 1], got "
+                f"{self.min_allocation_fraction}"
+            )
+        if not 0.0 < self.max_step_fraction <= 1.0:
+            raise ValueError(
+                "max_step_fraction must be in (0, 1], got "
+                f"{self.max_step_fraction}"
+            )
+        if self.pressure_low < 0 or self.pressure_high <= self.pressure_low:
+            raise ValueError(
+                "need 0 <= pressure_low < pressure_high, got "
+                f"low={self.pressure_low} high={self.pressure_high}"
+            )
+        if not 0.0 < self.pressure_ema_rho <= 1.0:
+            raise ValueError(
+                f"pressure_ema_rho must be in (0, 1], got {self.pressure_ema_rho}"
+            )
+        if self.max_staleness_seconds <= 0:
+            raise ValueError(
+                "max_staleness_seconds must be positive, got "
+                f"{self.max_staleness_seconds}"
+            )
+        if self.rating_headroom < 1.0:
+            raise ValueError(
+                f"rating_headroom must be >= 1.0, got {self.rating_headroom}"
+            )
+
+
+__all__ = ["FleetConfig", "POLICY_NAMES"]

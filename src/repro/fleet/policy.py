@@ -1,0 +1,250 @@
+"""Reallocation policies: how the coordinator re-divides the budget.
+
+A policy looks at per-row demand statistics and the current ledger and
+*proposes* a new assignment; it never touches controllers or hardware.
+Every proposal then passes through :func:`sanitize_allocations`, which
+imposes the invariants a policy is allowed to be sloppy about (per-step
+rate limit, floors, ratings, conservation) as a pure function so the
+property tests can hammer it directly.
+
+All iteration is in sorted row-name order and no randomness is drawn:
+given the same demand history, a policy proposes the same assignment --
+the determinism contract of the rest of the simulator extends to the
+fleet layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.ledger import RowBudget
+
+
+@dataclass(frozen=True)
+class RowDemand:
+    """Demand statistics of one row over the coordinator's window.
+
+    ``p_demand_watts`` is the configured percentile (p99.5 by default)
+    of observed row power -- the tail the safety floor protects.
+    ``freeze_pressure`` is the mean commanded freeze ratio over the
+    window: the fraction of capacity the row's controller had to freeze
+    to stay under its current budget. High pressure means the budget,
+    not the workload, is the binding constraint.
+    """
+
+    name: str
+    p_demand_watts: float
+    mean_watts: float
+    freeze_pressure: float
+    samples: int
+    stale: bool = False
+
+
+class ReallocationPolicy:
+    """Interface: propose a complete row -> watts assignment."""
+
+    name = "abstract"
+
+    def propose(
+        self,
+        rows: Sequence[RowBudget],
+        demands: Mapping[str, RowDemand],
+        facility_budget_watts: float,
+    ) -> Dict[str, float]:
+        raise NotImplementedError
+
+
+class StaticPolicy(ReallocationPolicy):
+    """Never move budget: every row keeps its build-time share.
+
+    The identity policy -- running the coordinator with it must be
+    bit-identical to not running a coordinator at all (pinned by the
+    golden tests).
+    """
+
+    name = "static"
+
+    def propose(self, rows, demands, facility_budget_watts):
+        return {row.name: row.static_watts for row in rows}
+
+
+class ProportionalPolicy(ReallocationPolicy):
+    """Water-fill the budget proportionally to recent tail demand.
+
+    Finds a single multiplier ``lam`` such that every row gets
+    ``clamp(lam * demand, floor, rating)`` and the clamped shares sum to
+    the facility budget. Rows pinned at their floor or rating drop out
+    of the balance; the rest share in proportion to demand -- the
+    classic water-filling solution, solved by bisection on ``lam``
+    (monotone in the sum, so 64 iterations pins it to float precision).
+    """
+
+    name = "proportional"
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+
+    def propose(self, rows, demands, facility_budget_watts):
+        demand = {}
+        for row in rows:
+            d = demands.get(row.name)
+            watts = d.p_demand_watts if d is not None and d.samples > 0 else 0.0
+            # A row with no observable demand still water-fills from its
+            # static share, so an idle fleet keeps the build-time split.
+            demand[row.name] = max(float(watts), 1e-9 * row.static_watts)
+
+        def filled(lam: float) -> Dict[str, float]:
+            return {
+                row.name: min(
+                    row.rating_watts,
+                    max(row.floor_watts, lam * demand[row.name]),
+                )
+                for row in rows
+            }
+
+        def total(lam: float) -> float:
+            return sum(filled(lam).values())
+
+        lo, hi = 0.0, 1.0
+        while total(hi) < facility_budget_watts and hi < 1e18:
+            if total(hi) >= sum(row.rating_watts for row in rows) - 1e-9:
+                break  # every row pinned at rating; budget can't be placed
+            hi *= 2.0
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            if total(mid) < facility_budget_watts:
+                lo = mid
+            else:
+                hi = mid
+        return filled(hi if total(hi) <= facility_budget_watts else lo)
+
+
+class DemandFollowingPolicy(ReallocationPolicy):
+    """Shift budget from becalmed rows toward rows under freeze pressure.
+
+    Keeps an exponential moving average of each row's freeze pressure.
+    Rows whose smoothed pressure exceeds ``pressure_high`` and that have
+    rating headroom become *receivers*; rows below ``pressure_low`` with
+    allocation above floor become *donors*. The transferable pool is the
+    lesser of what donors can give (down to their floors) and what
+    receivers want (up to their ratings), distributed proportionally on
+    both sides. The dead band between the thresholds is the hysteresis
+    that stops a marginal row from flapping donor/receiver every tick;
+    the per-step rate limit lives in :func:`sanitize_allocations`.
+    """
+
+    name = "demand-following"
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self._pressure_ema: Dict[str, float] = {}
+
+    def smoothed_pressure(self, name: str) -> float:
+        return self._pressure_ema.get(name, 0.0)
+
+    def propose(self, rows, demands, facility_budget_watts):
+        rho = self.config.pressure_ema_rho
+        for row in rows:
+            d = demands.get(row.name)
+            pressure = d.freeze_pressure if d is not None else 0.0
+            if row.name in self._pressure_ema:
+                self._pressure_ema[row.name] = (
+                    rho * pressure + (1.0 - rho) * self._pressure_ema[row.name]
+                )
+            else:
+                self._pressure_ema[row.name] = pressure
+
+        proposal = {row.name: row.allocation_watts for row in rows}
+        gives = {}
+        wants = {}
+        for row in rows:
+            ema = self._pressure_ema[row.name]
+            if ema < self.config.pressure_low:
+                slack = row.allocation_watts - row.floor_watts
+                if slack > 0:
+                    gives[row.name] = slack
+            elif ema > self.config.pressure_high:
+                headroom = row.rating_watts - row.allocation_watts
+                if headroom > 0:
+                    wants[row.name] = headroom
+        pool = min(sum(gives.values()), sum(wants.values()))
+        if pool <= 0:
+            return proposal
+        give_total = sum(gives.values())
+        want_total = sum(wants.values())
+        for name in sorted(gives):
+            proposal[name] -= pool * gives[name] / give_total
+        for name in sorted(wants):
+            proposal[name] += pool * wants[name] / want_total
+        return proposal
+
+
+def sanitize_allocations(
+    proposal: Mapping[str, float],
+    rows: Sequence[RowBudget],
+    facility_budget_watts: float,
+    max_step_fraction: float,
+) -> Dict[str, float]:
+    """Force a proposal into the ledger's admissible region.
+
+    Applied in order:
+
+    1. rate limit -- each row moves at most ``max_step_fraction`` of its
+       static budget per coordinator tick (anti-thrash);
+    2. clamp into ``[floor, rating]``;
+    3. conservation -- if the clamped shares still over-subscribe the
+       facility budget, the excess above each floor is scaled down by a
+       common factor (safety outranks the rate limit, so this step may
+       pull a row down faster than step 1 alone would allow).
+
+    Pure function of its arguments; the property tests drive it with
+    randomized proposals and assert the ledger accepts every output.
+    """
+    result: Dict[str, float] = {}
+    for row in sorted(rows, key=lambda r: r.name):
+        wanted = float(proposal.get(row.name, row.allocation_watts))
+        step = max_step_fraction * row.static_watts
+        limited = min(
+            row.allocation_watts + step, max(row.allocation_watts - step, wanted)
+        )
+        result[row.name] = min(row.rating_watts, max(row.floor_watts, limited))
+    floors = {row.name: row.floor_watts for row in rows}
+    total = sum(result.values())
+    if total > facility_budget_watts:
+        floor_total = sum(floors.values())
+        above = total - floor_total
+        if above <= 0:
+            # Floors alone over-subscribe (the coordinator scales floors
+            # to fit before proposing, so this is belt-and-braces).
+            factor = facility_budget_watts / total if total > 0 else 0.0
+            return {name: watts * factor for name, watts in result.items()}
+        factor = (facility_budget_watts - floor_total) / above
+        result = {
+            name: floors[name] + (watts - floors[name]) * factor
+            for name, watts in result.items()
+        }
+    return result
+
+
+def make_policy(name: str, config: FleetConfig) -> ReallocationPolicy:
+    """Instantiate a policy by registry name."""
+    if name == "static":
+        return StaticPolicy()
+    if name == "proportional":
+        return ProportionalPolicy(config)
+    if name == "demand-following":
+        return DemandFollowingPolicy(config)
+    raise ValueError(f"unknown fleet policy {name!r}")
+
+
+__all__ = [
+    "DemandFollowingPolicy",
+    "ProportionalPolicy",
+    "ReallocationPolicy",
+    "RowDemand",
+    "StaticPolicy",
+    "make_policy",
+    "sanitize_allocations",
+]

@@ -123,12 +123,37 @@ class PowerMonitor:
             "Multiplicative miscalibration applied to served readings",
         )
         self._group_instruments: Dict[str, Dict[str, object]] = {}
+        #: facility budget override (e.g. ``DataCenter.power_budget_watts``);
+        #: None = the sum of registered group budgets at sample time
+        self._facility_budget_override: Optional[float] = None
+        #: sampled minutes in which the facility total exceeded its budget
+        self.facility_violations = 0
+        self._facility_power_gauge = self.telemetry.gauge(
+            "repro_monitor_facility_power_watts",
+            "Latest facility-wide power (sum of group samples in a sweep)",
+        )
+        self._facility_budget_gauge = self.telemetry.gauge(
+            "repro_monitor_facility_budget_watts",
+            "Facility power budget the sweep totals are judged against",
+        )
+        self._facility_ratio_gauge = self.telemetry.gauge(
+            "repro_monitor_facility_power_ratio",
+            "Latest facility power normalized to the facility budget",
+        )
+        self._facility_violations_counter = self.telemetry.counter(
+            "repro_monitor_facility_violations_total",
+            "Sampled minutes in which the facility exceeded its budget",
+        )
 
     # ------------------------------------------------------------------
     def register_group(self, group: ServerGroup) -> None:
         """Track ``group``; its series key is ``power/<name>``."""
         if group.name in self._groups:
             raise ValueError(f"group {group.name!r} already registered")
+        if group.name == "facility":
+            raise ValueError(
+                "'facility' is reserved for the facility-wide series"
+            )
         self._groups[group.name] = group
         self.violations[group.name] = 0
         labels = {"group": group.name}
@@ -172,6 +197,30 @@ class PowerMonitor:
 
     def groups(self) -> List[ServerGroup]:
         return list(self._groups.values())
+
+    # ------------------------------------------------------------------
+    # Facility-level observability
+    # ------------------------------------------------------------------
+    def set_facility_budget(self, watts: Optional[float]) -> None:
+        """Pin the facility budget (e.g. ``DataCenter.power_budget_watts``).
+
+        Without an explicit budget the facility is judged against the sum
+        of registered group budgets at sample time -- correct for both
+        static partitions and a fleet coordinator that conserves the
+        facility total while moving allocations between rows.
+        """
+        if watts is not None and watts <= 0:
+            raise ValueError(f"facility budget must be positive, got {watts}")
+        self._facility_budget_override = (
+            float(watts) if watts is not None else None
+        )
+
+    @property
+    def facility_budget_watts(self) -> float:
+        """The budget facility sweeps are judged against."""
+        if self._facility_budget_override is not None:
+            return self._facility_budget_override
+        return sum(g.power_budget_watts for g in self._groups.values())
 
     def start(self, until: float, first_at: Optional[float] = None) -> None:
         """Begin periodic sampling on the engine."""
@@ -247,6 +296,8 @@ class PowerMonitor:
         now = self.engine.now
         self.samples_taken += 1
         self._sweeps_counter.inc()
+        facility_total = 0.0
+        facility_groups = 0
         with self.telemetry.span("monitor.sweep", groups=len(self._groups)):
             for group in self._groups.values():
                 instruments = self._group_instruments[group.name]
@@ -290,6 +341,8 @@ class PowerMonitor:
                 if self.sensor_bias != 1.0:
                     readings = readings * self.sensor_bias
                 total = float(np.nansum(readings))
+                facility_total += total
+                facility_groups += 1
                 if self.store_per_server:
                     for server, reading in zip(group.servers, readings):
                         self.db.write(
@@ -321,6 +374,18 @@ class PowerMonitor:
                             now,
                         )
                     self.breaker_trips.add(group.name)
+            # Facility roll-up: the sum of the group samples published
+            # this sweep. Computed from already-drawn readings -- no extra
+            # RNG draws, so registering it perturbs no trajectory.
+            if facility_groups:
+                facility_budget = self.facility_budget_watts
+                self.db.write("power/facility", now, facility_total)
+                self._facility_power_gauge.set(facility_total)
+                self._facility_budget_gauge.set(facility_budget)
+                self._facility_ratio_gauge.set(facility_total / facility_budget)
+                if facility_total > facility_budget:
+                    self.facility_violations += 1
+                    self._facility_violations_counter.inc()
 
     # ------------------------------------------------------------------
     # Query API (stands in for the paper's RESTful endpoint)
@@ -342,6 +407,19 @@ class PowerMonitor:
         is steering on old data.
         """
         return self.db.latest_point(f"power_norm/{group_name}")
+
+    def latest_power_sample(self, group_name: str) -> "tuple[float, float]":
+        """``(timestamp, watts)`` of the most recent absolute sample.
+
+        The denominator-free sibling of :meth:`latest_normalized_sample`:
+        consumers whose budget can change between sweeps (rows under a
+        fleet coordinator) re-normalize against their *current* budget.
+        """
+        return self.db.latest_point(f"power/{group_name}")
+
+    def facility_power_series(self, start=None, end=None):
+        """``(times, watts)`` of the facility-wide roll-up series."""
+        return self.db.query("power/facility", start, end)
 
     def power_series(self, group_name: str, start=None, end=None):
         """``(times, watts)`` arrays for a group."""

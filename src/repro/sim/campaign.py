@@ -31,8 +31,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.core.safety import SafetyConfig
 from repro.faults.scenario import FaultScenario
+from repro.fleet.config import FleetConfig
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 from repro.telemetry import MetricsRegistry
@@ -72,6 +75,13 @@ class CampaignRunConfig:
     #: collect per-cell metrics registries (merged campaign-wide via
     #: :meth:`CampaignResult.merged_telemetry`)
     telemetry: bool = False
+    #: when set, every cell runs the multi-row fleet harness under this
+    #: coordinator config instead of the single-row A/B experiment
+    fleet: Optional[FleetConfig] = None
+    #: cold-row intensity as a fraction of the cell workload (fleet
+    #: cells split servers into a hot row at the cell's workload and a
+    #: cold row at ``workload.scaled(fleet_skew)``)
+    fleet_skew: float = 0.25
 
 
 #: Canonical column order of a campaign row record. ``save_csv`` writes
@@ -88,6 +98,8 @@ CAMPAIGN_RECORD_FIELDS = (
     "violations",
     "trips",
     "jobs_shed",
+    "frozen_server_minutes",
+    "reallocations",
     "error",
 )
 
@@ -112,6 +124,11 @@ class CampaignRow:
     trips: int = 0
     #: batch tasks dropped by emergency load shedding
     jobs_shed: int = 0
+    #: server-minutes of frozen capacity commanded over the measurement
+    #: window (the capacity cost Ampere pays; fleet cells sum all rows)
+    frozen_server_minutes: float = 0.0
+    #: fleet-coordinator budget moves (0 for non-fleet cells)
+    reallocations: int = 0
     error: Optional[str] = None
     #: the cell's metrics registry (None unless the run config enabled
     #: telemetry). Deliberately excluded from :meth:`as_record`: records
@@ -134,6 +151,7 @@ class CampaignRow:
             r_t=nan,
             g_tpw=nan,
             violations=0,
+            frozen_server_minutes=nan,
             error=message,
         )
 
@@ -150,6 +168,8 @@ class CampaignRow:
             "violations": self.violations,
             "trips": self.trips,
             "jobs_shed": self.jobs_shed,
+            "frozen_server_minutes": self.frozen_server_minutes,
+            "reallocations": self.reallocations,
             "error": self.error,
         }
 
@@ -163,7 +183,14 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
     or how many sibling processes -- runs it. This is the unit of work
     shipped to pool workers by :mod:`repro.sim.parallel`; keep it free
     of global state.
+
+    With ``config.fleet`` set the cell runs the multi-row fleet harness
+    instead: a hot row at the cell's workload and a cold row at
+    ``workload.scaled(config.fleet_skew)``, under one facility budget.
+    Fleet cells have no control group, so ``r_t``/``g_tpw`` are NaN.
     """
+    if config.fleet is not None:
+        return _run_fleet_cell(cell, config)
     experiment_config = ExperimentConfig(
         n_servers=config.n_servers,
         duration_hours=config.duration_hours,
@@ -178,6 +205,13 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
     )
     outcome = ControlledExperiment(experiment_config).run()
     summary = outcome.experiment.summary
+    # Commanded freeze ratio per one-minute tick, so summing the u
+    # series over the experiment group gives server-minutes directly.
+    group_size = config.n_servers // 2
+    interval_minutes = experiment_config.ampere.control_interval / 60.0
+    frozen_minutes = float(
+        np.sum(outcome.experiment.u_values) * group_size * interval_minutes
+    )
     return CampaignRow(
         cell=cell,
         p_mean=summary.p_mean,
@@ -194,7 +228,57 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
             if outcome.safety_stats is not None
             else 0
         ),
+        frozen_server_minutes=frozen_minutes,
         telemetry=outcome.telemetry,
+    )
+
+
+def _run_fleet_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
+    """Fleet flavour of :func:`run_cell` (hot row + cold row, one budget)."""
+    from repro.sim.fleet_experiment import (
+        FleetExperiment,
+        FleetExperimentConfig,
+        FleetRowSpec,
+    )
+
+    half = config.n_servers // 2
+    fleet_config = FleetExperimentConfig(
+        rows=(
+            FleetRowSpec(n_servers=half, workload=cell.workload),
+            FleetRowSpec(
+                n_servers=half,
+                workload=cell.workload.scaled(config.fleet_skew),
+            ),
+        ),
+        duration_hours=config.duration_hours,
+        warmup_hours=config.warmup_hours,
+        over_provision_ratio=cell.over_provision_ratio,
+        fleet=config.fleet,
+        seed=cell.seed,
+        safety=config.safety,
+        faults=config.faults,
+        telemetry_enabled=config.telemetry,
+    )
+    result = FleetExperiment(fleet_config).run()
+    duration_minutes = config.duration_hours * 60.0
+    nan = float("nan")
+    return CampaignRow(
+        cell=cell,
+        p_mean=result.facility.p_mean_watts / result.facility.budget_watts,
+        p_max=result.facility.p_max_watts / result.facility.budget_watts,
+        u_mean=result.total_frozen_server_minutes
+        / (2 * half * duration_minutes),
+        r_t=nan,
+        g_tpw=nan,
+        violations=result.total_violations,
+        trips=result.total_breaker_trips,
+        frozen_server_minutes=result.total_frozen_server_minutes,
+        reallocations=(
+            result.coordinator_stats.reallocations
+            if result.coordinator_stats is not None
+            else 0
+        ),
+        telemetry=result.telemetry,
     )
 
 
@@ -290,6 +374,8 @@ class Campaign:
         faults: Optional[FaultScenario] = None,
         safety: Optional[SafetyConfig] = None,
         telemetry: bool = False,
+        fleet: Optional[FleetConfig] = None,
+        fleet_skew: float = 0.25,
     ) -> None:
         if not ratios:
             raise ValueError("campaign needs at least one over-provision ratio")
@@ -314,6 +400,8 @@ class Campaign:
             faults=faults,
             safety=safety,
             telemetry=telemetry,
+            fleet=fleet,
+            fleet_skew=fleet_skew,
         )
 
     # Backwards-compatible views of the per-cell configuration.

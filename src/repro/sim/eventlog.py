@@ -32,6 +32,8 @@ KNOWN_KINDS = (
     "trip",
     "reset",
     "shed",
+    #: fleet-coordinator budget reallocations (group-level, server_id -2)
+    "budget",
 )
 
 

@@ -34,6 +34,10 @@ class EventPriority(enum.IntEnum):
     #: shapes minute t's observation and control action.
     FAULT = 35
     MONITOR_SAMPLE = 40
+    #: the fleet coordinator re-divides the facility budget *between* the
+    #: monitor's observation and the per-row controllers' reactions, so a
+    #: budget moved at minute t already shapes minute t's control action.
+    COORDINATOR_TICK = 45
     CONTROLLER_TICK = 50
     #: the safety supervisor arbitrates between the statistical controller
     #: (which has already acted this instant) and the reactive layers below

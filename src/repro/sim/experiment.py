@@ -26,8 +26,10 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.metrics import (
+    FacilitySummary,
     GroupRunSummary,
     gain_in_tpw,
+    summarize_facility_series,
     summarize_power_series,
     throughput_ratio,
 )
@@ -156,6 +158,9 @@ class ExperimentResult:
     #: metrics registry of the run (None unless ``telemetry_enabled``);
     #: holds only sim-deterministic series, so it pickles and merges
     telemetry: Optional[MetricsRegistry] = None
+    #: facility-level power vs the summed group budgets (additive field;
+    #: None only for results deserialized from older payloads)
+    facility: Optional[FacilitySummary] = None
 
     def violations(self) -> dict:
         return {
@@ -339,6 +344,17 @@ class ControlledExperiment:
         control = self._collect_group(self.control_group, warmup, end)
         r_t = throughput_ratio(experiment.throughput, control.throughput)
         g_tpw = gain_in_tpw(r_t, self.config.over_provision_ratio)
+        facility: Optional[FacilitySummary] = None
+        try:
+            _, facility_power = self.testbed.monitor.facility_power_series(
+                start=warmup, end=end
+            )
+        except KeyError:
+            facility_power = np.empty(0)
+        if len(facility_power):
+            facility = summarize_facility_series(
+                self.testbed.monitor.facility_budget_watts, facility_power
+            )
         return ExperimentResult(
             config=self.config,
             experiment=experiment,
@@ -359,6 +375,7 @@ class ControlledExperiment:
                 self.controller.health if self.controller is not None else None
             ),
             telemetry=self.telemetry.registry if self.telemetry.enabled else None,
+            facility=facility,
         )
 
     def _collect_group(

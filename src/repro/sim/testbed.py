@@ -100,6 +100,52 @@ class WorkloadSpec:
         return replace(self, target_utilization=self.target_utilization * factor)
 
 
+def build_rate_profile(
+    n_servers: int,
+    cores: int,
+    spec: WorkloadSpec,
+    horizon_seconds: float,
+    modulation_seed: int,
+    demand: Optional[ResourceDemandDistribution] = None,
+) -> RateProfile:
+    """Deterministic arrival-rate profile for ``spec`` over the horizon.
+
+    Module-level so multi-row harnesses (the fleet experiment) can build
+    one independent profile per row without constructing a
+    :class:`Testbed` per row; the Testbed method delegates here.
+    """
+    base_rate = rate_for_target_utilization(
+        n_servers,
+        cores,
+        spec.target_utilization,
+        demand=demand if demand is not None else ResourceDemandDistribution(),
+    )
+    profile: RateProfile = DiurnalRateProfile(
+        base_rate,
+        amplitude=spec.diurnal_amplitude,
+        phase_seconds=spec.diurnal_phase_seconds,
+    )
+    if spec.bursts_per_day > 0:
+        profile = BurstyRateProfile(
+            profile,
+            horizon_seconds=horizon_seconds,
+            seed=modulation_seed + 1,
+            bursts_per_day=spec.bursts_per_day,
+            burst_factor=spec.burst_factor,
+            mean_burst_seconds=spec.mean_burst_minutes * 60.0,
+        )
+    if spec.modulation_sigma > 0:
+        profile = ModulatedRateProfile(
+            profile,
+            horizon_seconds=horizon_seconds,
+            seed=modulation_seed,
+            step_seconds=spec.modulation_step_seconds,
+            rho=spec.modulation_rho,
+            sigma=spec.modulation_sigma,
+        )
+    return profile
+
+
 @dataclass
 class ThroughputRecord:
     """Per-group placement counting with a per-minute series.
@@ -260,36 +306,14 @@ class Testbed:
     # ------------------------------------------------------------------
     def build_rate_profile(self, spec: WorkloadSpec, horizon_seconds: float) -> RateProfile:
         """Deterministic rate profile for ``spec`` over the horizon."""
-        base_rate = rate_for_target_utilization(
+        return build_rate_profile(
             len(self.row.servers),
             self.cores,
-            spec.target_utilization,
+            spec,
+            horizon_seconds,
+            self._modulation_seed,
             demand=self.demand_distribution,
         )
-        profile: RateProfile = DiurnalRateProfile(
-            base_rate,
-            amplitude=spec.diurnal_amplitude,
-            phase_seconds=spec.diurnal_phase_seconds,
-        )
-        if spec.bursts_per_day > 0:
-            profile = BurstyRateProfile(
-                profile,
-                horizon_seconds=horizon_seconds,
-                seed=self._modulation_seed + 1,
-                bursts_per_day=spec.bursts_per_day,
-                burst_factor=spec.burst_factor,
-                mean_burst_seconds=spec.mean_burst_minutes * 60.0,
-            )
-        if spec.modulation_sigma > 0:
-            profile = ModulatedRateProfile(
-                profile,
-                horizon_seconds=horizon_seconds,
-                seed=self._modulation_seed,
-                step_seconds=spec.modulation_step_seconds,
-                rho=spec.modulation_rho,
-                sigma=spec.modulation_sigma,
-            )
-        return profile
 
     def add_batch_workload(
         self,
@@ -346,4 +370,10 @@ class Testbed:
         self.engine.run(until=self.engine.now + seconds)
 
 
-__all__ = ["Testbed", "WorkloadSpec", "ThroughputTracker", "ThroughputRecord"]
+__all__ = [
+    "Testbed",
+    "WorkloadSpec",
+    "ThroughputTracker",
+    "ThroughputRecord",
+    "build_rate_profile",
+]

@@ -46,6 +46,7 @@ HEALTH_KINDS = (
     "reconciliation_diff_total",
     "crashes",
     "recoveries",
+    "budget_updates",
 )
 
 

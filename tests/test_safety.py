@@ -50,19 +50,29 @@ class ClusterHarness:
                 )
                 job_id += 1
         self.group = ServerGroup("row", self.servers)
+        self._devices = []
 
     def set_ratio(self, ratio):
-        """Pin the group's load ratio by scaling the budget."""
+        """Pin the group's load ratio by scaling the budget.
+
+        The harness models *load* swings, not fleet budget moves, so the
+        physical rating of any breaker/supervisor already built against
+        the group tracks the scaled budget.
+        """
         self.group.power_budget_watts = self.group.power_watts() / ratio
+        for device in self._devices:
+            device.rating_watts = self.group.power_budget_watts
 
     def breaker(self, **kwargs):
-        return RowBreaker(
+        breaker = RowBreaker(
             self.group, self.engine, self.scheduler, **kwargs
         )
+        self._devices.append(breaker)
+        return breaker
 
     def supervisor(self, config=SafetyConfig(), breaker=None, event_log=None):
         capping = CappingEngine(self.group, self.engine)
-        return SafetySupervisor(
+        supervisor = SafetySupervisor(
             self.engine,
             self.group,
             self.scheduler,
@@ -71,6 +81,8 @@ class ClusterHarness:
             breaker=breaker,
             event_log=event_log,
         )
+        self._devices.append(supervisor)
+        return supervisor
 
 
 # ---------------------------------------------------------------------------
