@@ -14,6 +14,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/chaos_smoke.py --scenario chaos
     PYTHONPATH=src python benchmarks/chaos_smoke.py --scenario fleet-blackout
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --scenario chaos \
+        --engine-backend vectorized
 
 Exit status: 0 on success, 1 on nondeterminism, 2 on crash.
 """
@@ -64,6 +66,7 @@ def run_fleet_once(scenario_name: str, args: argparse.Namespace) -> str:
         faults=builtin_scenarios()[scenario_name],
         safety=SafetyConfig(),
         telemetry_enabled=True,
+        engine_backend=args.engine_backend,
     )
     result = FleetExperiment(config).run()
     return json.dumps(fleet_result_to_dict(result), sort_keys=False)
@@ -84,6 +87,7 @@ def run_once(scenario_name: str, args: argparse.Namespace) -> str:
         faults=builtin_scenarios()[scenario_name],
         safety=SafetyConfig(),
         telemetry_enabled=True,
+        engine_backend=args.engine_backend,
     )
     result = ControlledExperiment(config).run()
     return json.dumps(result_to_dict(result), sort_keys=False)
@@ -101,6 +105,12 @@ def main(argv=None) -> int:
     parser.add_argument("--hours", type=float, default=2.0)
     parser.add_argument("--ratio", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--engine-backend",
+        choices=("object", "vectorized"),
+        default=None,
+        help="hot-loop engine backend (default: process/environment default)",
+    )
     args = parser.parse_args(argv)
 
     try:

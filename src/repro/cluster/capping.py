@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+import numpy as np
+
 from repro.cluster.group import ServerGroup
 from repro.cluster.power import (
     DVFS_FREQUENCIES,
@@ -127,6 +129,21 @@ class CappingEngine:
         # A failed or powered-off server draws nothing and runs nothing:
         # its DVFS state is moot, so it must not accrue capped time (the
         # failure path resets frequency, but guard here regardless).
+        # This guard holds under batched mutations too: ClusterState's
+        # mask-fail primitive resets frequency and the shared power cache
+        # exactly like Server.fail(), so neither backend can leak capped
+        # time on a dark machine.
+        if self.group.vectorized:
+            state, idx = self.group.state, self.group.state_indices
+            capped_live = state.capped_mask(idx) & state.live_mask(idx)
+            per = self.stats.per_server_capped_seconds
+            # Accumulate per slot, in group order: the running totals must
+            # add up in the same sequence as the object path's loop.
+            for pos in np.flatnonzero(capped_live):
+                server = self.group.servers[pos]
+                self.stats.capped_server_seconds += self.interval
+                per[server.server_id] = per.get(server.server_id, 0.0) + self.interval
+            return
         for server in self.group.servers:
             if server.is_capped and not (server.failed or server.powered_off):
                 self.stats.capped_server_seconds += self.interval
@@ -139,16 +156,33 @@ class CappingEngine:
         else:
             self._cap_spread(power, budget)
 
+    def _live_hottest_first(self) -> List[Server]:
+        """Live servers, hottest first, identical order on both backends.
+
+        ``sorted(..., reverse=True)`` is stable, and so is
+        ``argsort(-powers, kind="stable")``; filtering dark servers
+        commutes with a stable sort, so the two constructions yield the
+        same sequence (powers are bit-identical across backends).
+        """
+        if self.group.vectorized:
+            state, idx = self.group.state, self.group.state_indices
+            powers = state.server_powers(idx)
+            live = state.live_mask(idx)
+            order = np.argsort(-powers, kind="stable")
+            servers = self.group.servers
+            return [servers[pos] for pos in order if live[pos]]
+        return sorted(
+            (s for s in self.group.servers if not (s.failed or s.powered_off)),
+            key=lambda s: s.power_watts(),
+            reverse=True,
+        )
+
     def _cap_hottest_first(self, power: float, budget: float) -> None:
         """Step down the hottest servers until projected power <= budget."""
         # Sort once; stepping a server down changes its power but the
         # hottest-first order remains a good greedy heuristic, matching how
         # production cappers prioritize.
-        candidates: List[Server] = sorted(
-            (s for s in self.group.servers if not (s.failed or s.powered_off)),
-            key=lambda s: s.power_watts(),
-            reverse=True,
-        )
+        candidates: List[Server] = self._live_hottest_first()
         projected = power
         for server in candidates:
             if projected <= budget:
@@ -194,12 +228,22 @@ class CappingEngine:
         """
         floor = DVFS_FREQUENCIES[-1]
         actions = 0
-        for server in self.group.servers:
-            if server.failed or server.powered_off:
-                continue
-            if server.frequency > floor:
-                server.set_frequency(floor)
+        if self.group.vectorized:
+            # Vectorized victim *selection*; the actual frequency step
+            # stays per-object because listeners (the scheduler's
+            # completion bookkeeping) must observe every transition.
+            state, idx = self.group.state, self.group.state_indices
+            victims = state.live_mask(idx) & (state.frequency[idx] > floor)
+            for pos in np.flatnonzero(victims):
+                self.group.servers[pos].set_frequency(floor)
                 actions += 1
+        else:
+            for server in self.group.servers:
+                if server.failed or server.powered_off:
+                    continue
+                if server.frequency > floor:
+                    server.set_frequency(floor)
+                    actions += 1
         if actions:
             self.stats.slam_actions += 1
             self.stats.cap_actions += actions
@@ -221,15 +265,22 @@ class CappingEngine:
         # exit the capped state quickly, minimizing SLA exposure.
         # Dark servers are skipped: "restoring" one is free in power terms
         # (delta 0) and would silently discard its DVFS state.
-        capped = sorted(
-            (
-                s
-                for s in self.group.servers
-                if s.is_capped and not (s.failed or s.powered_off)
-            ),
-            key=lambda s: s.frequency,
-            reverse=True,
-        )
+        if self.group.vectorized:
+            state, idx = self.group.state, self.group.state_indices
+            eligible = state.capped_mask(idx) & state.live_mask(idx)
+            order = np.argsort(-state.frequency[idx], kind="stable")
+            servers = self.group.servers
+            capped = [servers[pos] for pos in order if eligible[pos]]
+        else:
+            capped = sorted(
+                (
+                    s
+                    for s in self.group.servers
+                    if s.is_capped and not (s.failed or s.powered_off)
+                ),
+                key=lambda s: s.frequency,
+                reverse=True,
+            )
         projected = power
         for server in capped:
             old_frequency = server.frequency

@@ -17,6 +17,7 @@ from repro.cluster.power import PowerModelParams
 from repro.cluster.rack import Rack
 from repro.cluster.row import Row
 from repro.cluster.server import Server
+from repro.cluster.state import ClusterState
 
 
 @dataclass(frozen=True)
@@ -33,13 +34,14 @@ class ServerSpec:
     power_params: PowerModelParams = PowerModelParams()
     background_utilization: float = 0.05
 
-    def build(self, server_id: int) -> Server:
+    def build(self, server_id: int, state: Optional[ClusterState] = None) -> Server:
         return Server(
             server_id,
             cores=self.cores,
             memory_gb=self.memory_gb,
             power_params=self.power_params,
             background_utilization=self.background_utilization,
+            state=state,
         )
 
 
@@ -79,10 +81,19 @@ def build_row(
     memory_gb: float = 64.0,
     first_server_id: int = 0,
     breaker_trip_ratio: float = 1.10,
+    state: Optional[ClusterState] = None,
+    engine_backend: Optional[str] = None,
 ) -> Row:
-    """Build one homogeneous row; server ids start at ``first_server_id``."""
+    """Build one homogeneous row; server ids start at ``first_server_id``.
+
+    All servers of the row register with one :class:`ClusterState` (a
+    fresh, exactly-sized one unless ``state`` is shared by the caller),
+    so the row is a contiguous array slice in the columnar store.
+    """
     if racks <= 0 or servers_per_rack <= 0:
         raise ValueError("racks and servers_per_rack must be positive")
+    if state is None:
+        state = ClusterState(capacity=racks * servers_per_rack, backend=engine_backend)
     built_racks = []
     server_id = first_server_id
     for rack_index in range(racks):
@@ -94,6 +105,7 @@ def build_row(
                     cores=cores,
                     memory_gb=memory_gb,
                     power_params=power_params,
+                    state=state,
                 )
             )
             server_id += 1
@@ -107,6 +119,8 @@ def build_heterogeneous_row(
     servers_per_rack: int = 40,
     first_server_id: int = 0,
     breaker_trip_ratio: float = 1.10,
+    state: Optional[ClusterState] = None,
+    engine_backend: Optional[str] = None,
 ) -> Row:
     """Build a row mixing several server SKUs.
 
@@ -116,13 +130,16 @@ def build_heterogeneous_row(
     """
     if servers_per_rack <= 0:
         raise ValueError(f"servers_per_rack must be positive, got {servers_per_rack}")
+    if state is None:
+        total = sum(max(count, 0) for count, _ in sku_counts)
+        state = ClusterState(capacity=max(total, 1), backend=engine_backend)
     servers: List[Server] = []
     server_id = first_server_id
     for count, spec in sku_counts:
         if count <= 0:
             raise ValueError(f"SKU count must be positive, got {count}")
         for _ in range(count):
-            servers.append(spec.build(server_id))
+            servers.append(spec.build(server_id, state=state))
             server_id += 1
     if not servers:
         raise ValueError("heterogeneous row needs at least one server")
@@ -145,10 +162,18 @@ def build_datacenter(
     power_params: PowerModelParams = PowerModelParams(),
     cores: int = 16,
     memory_gb: float = 64.0,
+    engine_backend: Optional[str] = None,
 ) -> DataCenter:
-    """Build a homogeneous multi-row data center with contiguous server ids."""
+    """Build a homogeneous multi-row data center with contiguous server ids.
+
+    All rows share one :class:`ClusterState`, so facility-level rollups
+    vectorize across the whole fleet in a single slice.
+    """
     if rows <= 0:
         raise ValueError(f"rows must be positive, got {rows}")
+    state = ClusterState(
+        capacity=rows * racks_per_row * servers_per_rack, backend=engine_backend
+    )
     built_rows = []
     next_id = 0
     for row_id in range(rows):
@@ -160,6 +185,7 @@ def build_datacenter(
             cores=cores,
             memory_gb=memory_gb,
             first_server_id=next_id,
+            state=state,
         )
         next_id += len(row.servers)
         built_rows.append(row)

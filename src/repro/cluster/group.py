@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+import numpy as np
+
 from repro.cluster.server import Server
+from repro.cluster.state import shared_state_of
 
 
 class ServerGroup:
@@ -46,6 +49,24 @@ class ServerGroup:
                 f"power_budget_watts must be positive, got {power_budget_watts}"
             )
         self.power_budget_watts = float(power_budget_watts)
+        # When every member registered with one ClusterState, the group
+        # is an array slice of it and the hot loops can vectorize.
+        self._state, self._indices = shared_state_of(self.servers)
+
+    @property
+    def state(self):
+        """The shared :class:`ClusterState`, or ``None`` for mixed groups."""
+        return self._state
+
+    @property
+    def state_indices(self) -> Optional[np.ndarray]:
+        """Member slot indices into :attr:`state` (group order)."""
+        return self._indices
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the hot loops run on the array backend for this group."""
+        return self._state is not None and self._state.backend == "vectorized"
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -57,8 +78,25 @@ class ServerGroup:
     # Power
     # ------------------------------------------------------------------
     def power_watts(self) -> float:
-        """Instantaneous true aggregate power of all member servers."""
+        """Instantaneous true aggregate power of all member servers.
+
+        Both backends produce bit-identical totals: the vectorized path
+        aggregates with sequential-``cumsum`` semantics to match the
+        object path's left-to-right ``sum``.
+        """
+        if self.vectorized:
+            return self._state.total_power(self._indices)
         return sum(s.power_watts() for s in self.servers)
+
+    def server_powers(self) -> np.ndarray:
+        """Per-server true power in member order (monitor hot path)."""
+        if self.vectorized:
+            return self._state.server_powers(self._indices)
+        return np.fromiter(
+            (s.power_watts() for s in self.servers),
+            dtype=np.float64,
+            count=len(self.servers),
+        )
 
     def rated_watts(self) -> float:
         """Sum of member rated power (the conservative provisioning base)."""
@@ -96,6 +134,8 @@ class ServerGroup:
 
     def freezing_ratio(self) -> float:
         """Fraction of member servers currently frozen (the paper's u_t)."""
+        if self.vectorized:
+            return self._state.frozen_count(self._indices) / len(self.servers)
         return len(self.frozen_servers()) / len(self.servers)
 
     def capped_servers(self) -> List[Server]:

@@ -6,6 +6,14 @@ untouched, which is the central SLA property of the paper's design. DVFS
 frequency changes *do* affect running jobs (they slow down), and the server
 notifies registered listeners so the scheduler can reschedule completion
 events.
+
+Since the vectorized-engine refactor a ``Server`` is a *thin view*: all
+dynamic state (utilization, frequency, flags, the power cache) lives in a
+:class:`~repro.cluster.state.ClusterState` slot, and the attributes below
+are properties over that slot. Builders pass a shared store so whole rows
+become contiguous array slices; a standalone ``Server()`` (tests, ad-hoc
+fixtures) silently gets a private single-slot store and behaves exactly as
+before.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.cluster.power import PowerModelParams, server_power_watts
+from repro.cluster.state import ClusterState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.workload.job import Job
@@ -37,6 +46,10 @@ class Server:
         Constant utilization consumed by system daemons; keeps an idle
         production server above the model's idle floor, matching Figure 4's
         ~0.70-of-rated floor for drained servers.
+    state:
+        The columnar store this server registers with. ``None`` (the
+        default) creates a private single-slot store, preserving the
+        standalone-object behavior.
     """
 
     def __init__(
@@ -48,6 +61,7 @@ class Server:
         background_utilization: float = 0.05,
         rack_id: int = -1,
         row_id: int = -1,
+        state: Optional[ClusterState] = None,
     ) -> None:
         if cores <= 0:
             raise ValueError(f"cores must be positive, got {cores}")
@@ -65,21 +79,83 @@ class Server:
         self.power_params = power_params
         self.background_utilization = background_utilization
 
-        self.frozen = False
-        self.failed = False
-        self.powered_off = False
-        self.frequency = 1.0
-        self.used_cores = 0.0
-        self.used_memory_gb = 0.0
+        self._state = state if state is not None else ClusterState(capacity=1)
+        self._index = self._state.add_server(
+            server_id, cores, memory_gb, power_params, background_utilization
+        )
+
         self.tasks: Dict[int, "Job"] = {}
         self.frequency_listeners: List[FrequencyListener] = []
-        # Power is read every capping tick (seconds) but changes only on
-        # task placement/completion or a DVFS step, so cache it.
-        self._power_cache: Optional[float] = None
 
-        # Lifetime accounting used by the evaluation metrics.
-        self.jobs_started = 0
-        self.jobs_completed = 0
+    # ------------------------------------------------------------------
+    # State-slot views
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return bool(self._state.frozen[self._index])
+
+    @frozen.setter
+    def frozen(self, value: bool) -> None:
+        self._state.frozen[self._index] = value
+
+    @property
+    def failed(self) -> bool:
+        return bool(self._state.failed[self._index])
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        self._state.failed[self._index] = value
+
+    @property
+    def powered_off(self) -> bool:
+        return bool(self._state.powered_off[self._index])
+
+    @powered_off.setter
+    def powered_off(self, value: bool) -> None:
+        self._state.powered_off[self._index] = value
+
+    @property
+    def frequency(self) -> float:
+        return float(self._state.frequency[self._index])
+
+    @frequency.setter
+    def frequency(self, value: float) -> None:
+        self._state.frequency[self._index] = value
+
+    @property
+    def used_cores(self) -> float:
+        return float(self._state.used_cores[self._index])
+
+    @used_cores.setter
+    def used_cores(self, value: float) -> None:
+        self._state.used_cores[self._index] = value
+
+    @property
+    def used_memory_gb(self) -> float:
+        return float(self._state.used_memory_gb[self._index])
+
+    @used_memory_gb.setter
+    def used_memory_gb(self, value: float) -> None:
+        self._state.used_memory_gb[self._index] = value
+
+    @property
+    def jobs_started(self) -> int:
+        return int(self._state.jobs_started[self._index])
+
+    @jobs_started.setter
+    def jobs_started(self, value: int) -> None:
+        self._state.jobs_started[self._index] = value
+
+    @property
+    def jobs_completed(self) -> int:
+        return int(self._state.jobs_completed[self._index])
+
+    @jobs_completed.setter
+    def jobs_completed(self, value: int) -> None:
+        self._state.jobs_completed[self._index] = value
+
+    def _invalidate_power(self) -> None:
+        self._state.power_valid[self._index] = False
 
     # ------------------------------------------------------------------
     # Resource accounting
@@ -113,7 +189,7 @@ class Server:
         self.used_cores += job.cores
         self.used_memory_gb += job.memory_gb
         self.jobs_started += 1
-        self._power_cache = None
+        self._invalidate_power()
 
     def remove_task(self, job: "Job") -> None:
         """Release a finished (or killed) job's resources."""
@@ -128,7 +204,7 @@ class Server:
         if self.used_memory_gb < 1e-9:
             self.used_memory_gb = 0.0
         self.jobs_completed += 1
-        self._power_cache = None
+        self._invalidate_power()
 
     # ------------------------------------------------------------------
     # Power
@@ -143,15 +219,20 @@ class Server:
         """Instantaneous true power draw (no measurement noise).
 
         A failed or powered-off server draws nothing (its PSU is off or
-        the machine is pulled for repair).
+        the machine is pulled for repair). Power is read every capping
+        tick (seconds) but changes only on task placement/completion or a
+        DVFS step, so it is cached -- in the shared store, where batched
+        mask mutations invalidate it for object-path readers too.
         """
-        if self.failed or self.powered_off:
+        state, i = self._state, self._index
+        if state.failed[i] or state.powered_off[i]:
             return 0.0
-        if self._power_cache is None:
-            self._power_cache = server_power_watts(
+        if not state.power_valid[i]:
+            state.power_cache[i] = server_power_watts(
                 self.power_params, self.utilization, self.frequency
             )
-        return self._power_cache
+            state.power_valid[i] = True
+        return float(state.power_cache[i])
 
     @property
     def rated_watts(self) -> float:
@@ -180,13 +261,13 @@ class Server:
                 "tasks are running"
             )
         self.powered_off = True
-        self._power_cache = None
+        self._invalidate_power()
 
     def power_on(self) -> None:
         """Return from the off state, idle and at full frequency."""
         self.powered_off = False
         self.frequency = 1.0
-        self._power_cache = None
+        self._invalidate_power()
 
     def fail(self) -> None:
         """Mark the machine down. The scheduler is responsible for killing
@@ -197,17 +278,19 @@ class Server:
         no running jobs left to re-time, and listeners must not observe a
         phantom "uncap" on a dark machine). Without this, a server that
         failed while capped kept ``is_capped`` and leaked capped-time
-        accounting for as long as it stayed dark.
+        accounting for as long as it stayed dark. The vectorized
+        equivalent is :meth:`ClusterState.fail_servers`, which applies the
+        same flag+frequency+cache transition as a mask.
         """
         self.failed = True
         self.frequency = 1.0
-        self._power_cache = None
+        self._invalidate_power()
 
     def repair(self) -> None:
         """Bring the machine back, empty and at full frequency."""
         self.failed = False
         self.frequency = 1.0
-        self._power_cache = None
+        self._invalidate_power()
 
     def set_frequency(self, frequency: float) -> None:
         """Change the DVFS frequency multiplier and notify listeners.
@@ -221,7 +304,7 @@ class Server:
             return
         old = self.frequency
         self.frequency = frequency
-        self._power_cache = None
+        self._invalidate_power()
         for listener in self.frequency_listeners:
             listener(self, old, frequency)
 

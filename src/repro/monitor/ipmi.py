@@ -6,16 +6,30 @@ Real BMC reads are imperfect: readings are quantized to whole watts,
 carry sensor noise, and occasionally time out. This layer models those
 properties so the monitor's resilience path (carrying the last known
 reading through a failed poll) is actually exercised.
+
+RNG draw-order contract
+-----------------------
+A fleet sweep consumes the shared generator in a *fixed, batchable*
+order: first one uniform per endpoint (timeout lottery, drawn only when
+the fleet's ``failure_rate`` is positive), then one standard normal per
+endpoint (sensor noise, drawn only when ``noise_sigma`` is positive) --
+each batch covering every endpoint in fleet order, including the ones
+that time out. Both backends follow this contract (the object path
+pre-draws the batches and hands each endpoint its values), so
+``poll_all`` and ``poll_all_array`` consume identical bit streams and
+produce bit-identical readings. A *standalone* ``BmcEndpoint.read_power``
+call (no fleet) draws lazily, as a lone BMC conversation would.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 import numpy as np
 
 from repro.cluster.server import Server
+from repro.cluster.state import shared_state_of
 from repro.telemetry import Telemetry
 
 logger = logging.getLogger(__name__)
@@ -59,16 +73,32 @@ class BmcEndpoint:
         self.quantize_watts = quantize_watts
         self.polls = 0
         self.timeouts = 0
+        # Pre-drawn randomness queued by a fleet sweep (see the module
+        # draw-order contract); consumed (and cleared) by the next read.
+        self._queued_u: Optional[float] = None
+        self._queued_z: Optional[float] = None
+
+    def queue_draws(self, u: Optional[float], z: Optional[float]) -> None:
+        """Hand this endpoint its slice of a fleet sweep's batched draws."""
+        self._queued_u = u
+        self._queued_z = z
 
     def read_power(self) -> Optional[float]:
         """One poll: quantized noisy watts, or ``None`` on timeout."""
+        u, z = self._queued_u, self._queued_z
+        self._queued_u = self._queued_z = None
         self.polls += 1
-        if self.failure_rate > 0 and self.rng.random() < self.failure_rate:
-            self.timeouts += 1
-            return None
+        if self.failure_rate > 0:
+            if u is None:
+                u = self.rng.random()
+            if u < self.failure_rate:
+                self.timeouts += 1
+                return None
         reading = self.server.power_watts()
         if self.noise_sigma > 0:
-            reading *= 1.0 + self.noise_sigma * self.rng.standard_normal()
+            if z is None:
+                z = self.rng.standard_normal()
+            reading *= 1.0 + self.noise_sigma * z
         quantized = round(reading / self.quantize_watts) * self.quantize_watts
         return max(0.0, quantized)
 
@@ -88,6 +118,15 @@ class IpmiFleet:
     reporting its last busy-hour wattage indefinitely -- exactly the kind
     of fiction a power controller must not steer on. Stale endpoints are
     listed in :attr:`stale_ids`.
+
+    Sweep state (last-known values, timeout streaks, staleness) lives in
+    fleet-order arrays shared by both backends; when the servers share a
+    :class:`~repro.cluster.state.ClusterState` on the vectorized backend,
+    :meth:`poll_all_array` runs the whole sweep as array expressions and
+    is bit-identical to :meth:`poll_all` (same draws, same arithmetic).
+    The array path reads the *fleet-level* noise/failure parameters;
+    per-endpoint overrides (a test poking one BMC) are an object-path
+    feature.
     """
 
     def __init__(
@@ -99,27 +138,45 @@ class IpmiFleet:
         max_fallback_polls: int = 5,
         telemetry: Optional[Telemetry] = None,
         group: str = "",
+        quantize_watts: float = 1.0,
     ) -> None:
         if max_fallback_polls < 0:
             raise ValueError(
                 f"max_fallback_polls must be non-negative, got {max_fallback_polls}"
             )
+        self._servers = list(servers)
         self.endpoints: Dict[int, BmcEndpoint] = {
             s.server_id: BmcEndpoint(
-                s, rng, noise_sigma=noise_sigma, failure_rate=failure_rate
+                s,
+                rng,
+                noise_sigma=noise_sigma,
+                failure_rate=failure_rate,
+                quantize_watts=quantize_watts,
             )
-            for s in servers
+            for s in self._servers
         }
         if not self.endpoints:
             raise ValueError("IpmiFleet needs at least one server")
-        self._last_known: Dict[int, float] = {
-            s.server_id: s.power_params.idle_watts for s in servers
-        }
+        self.rng = rng
+        self.noise_sigma = noise_sigma
+        self.failure_rate = failure_rate
+        self.quantize_watts = quantize_watts
         self.max_fallback_polls = max_fallback_polls
-        self._timeout_streak: Dict[int, int] = {sid: 0 for sid in self.endpoints}
-        self.stale_ids: set = set()
+        n = len(self._servers)
+        self._server_ids = np.array(
+            [s.server_id for s in self._servers], dtype=np.int64
+        )
+        self._pos = {s.server_id: i for i, s in enumerate(self._servers)}
+        self._last_known = np.array(
+            [s.power_params.idle_watts for s in self._servers], dtype=np.float64
+        )
+        self._timeout_streak = np.zeros(n, dtype=np.int64)
+        self._stale = np.zeros(n, dtype=bool)
+        self._state, self._indices = shared_state_of(self._servers)
         self.fallbacks_used = 0
         self.stale_reads = 0
+        self._polls = 0
+        self._timeouts = 0
         tel = telemetry if telemetry is not None else Telemetry.disabled()
         labels = {"group": group} if group else None
         self._polls_counter = tel.counter(
@@ -140,44 +197,129 @@ class IpmiFleet:
             labels,
         )
 
+    @property
+    def vectorized(self) -> bool:
+        """Whether sweeps run on the array backend for this fleet."""
+        return self._state is not None and self._state.backend == "vectorized"
+
+    def _draw_batches(self):
+        """One sweep's randomness, in contract order: uniforms then normals."""
+        n = len(self._servers)
+        us = self.rng.random(n) if self.failure_rate > 0 else None
+        zs = self.rng.standard_normal(n) if self.noise_sigma > 0 else None
+        return us, zs
+
     def poll_all(self) -> Dict[int, float]:
+        """Object-backend sweep: per-endpoint reads on pre-drawn batches."""
+        us, zs = self._draw_batches()
         readings: Dict[int, float] = {}
+        self._polls += len(self.endpoints)
         self._polls_counter.inc(len(self.endpoints))
-        for server_id, endpoint in self.endpoints.items():
+        for pos, (server_id, endpoint) in enumerate(self.endpoints.items()):
+            endpoint.queue_draws(
+                float(us[pos]) if us is not None else None,
+                float(zs[pos]) if zs is not None else None,
+            )
             value = endpoint.read_power()
             if value is None:
+                self._timeouts += 1
                 self._timeouts_counter.inc()
-                self._timeout_streak[server_id] += 1
-                if self._timeout_streak[server_id] > self.max_fallback_polls:
-                    if server_id not in self.stale_ids:
+                self._timeout_streak[pos] += 1
+                if self._timeout_streak[pos] > self.max_fallback_polls:
+                    if not self._stale[pos]:
                         logger.warning(
                             "BMC %d exceeded %d consecutive timeouts; "
                             "endpoint is stale",
                             server_id,
                             self.max_fallback_polls,
                         )
-                    self.stale_ids.add(server_id)
+                    self._stale[pos] = True
                     self.stale_reads += 1
                     self._stale_reads_counter.inc()
                     value = float("nan")
                 else:
                     self.fallbacks_used += 1
                     self._fallbacks_counter.inc()
-                    value = self._last_known[server_id]
+                    value = float(self._last_known[pos])
             else:
-                self._timeout_streak[server_id] = 0
-                self.stale_ids.discard(server_id)
-                self._last_known[server_id] = value
+                self._timeout_streak[pos] = 0
+                self._stale[pos] = False
+                self._last_known[pos] = value
             readings[server_id] = value
         return readings
 
+    def poll_all_array(self) -> np.ndarray:
+        """Vectorized sweep: readings in fleet order, NaN where stale.
+
+        Bit-identical to :meth:`poll_all` under the draw-order contract:
+        identical batched draws, identical scalar arithmetic per element
+        (``np.rint`` is round-half-even like Python's ``round``), and the
+        same bounded last-known-value carry.
+        """
+        us, zs = self._draw_batches()
+        n = len(self._servers)
+        self._polls += n
+        self._polls_counter.inc(n)
+        true_powers = self._state.server_powers(self._indices)
+        if zs is not None:
+            readings = true_powers * (1.0 + self.noise_sigma * zs)
+        else:
+            readings = true_powers
+        readings = np.rint(readings / self.quantize_watts) * self.quantize_watts
+        readings = np.maximum(0.0, readings)
+        if us is not None:
+            timed_out = us < self.failure_rate
+        else:
+            timed_out = np.zeros(n, dtype=bool)
+        success = ~timed_out
+        n_timeouts = int(np.count_nonzero(timed_out))
+        if n_timeouts:
+            self._timeouts += n_timeouts
+            self._timeouts_counter.inc(n_timeouts)
+            self._timeout_streak[timed_out] += 1
+        self._timeout_streak[success] = 0
+        was_stale = self._stale
+        # A stale endpoint's streak only resets on success, so staleness
+        # is exactly "streak exceeded the fallback budget".
+        stale = self._timeout_streak > self.max_fallback_polls
+        for pos in np.flatnonzero(stale & ~was_stale):
+            logger.warning(
+                "BMC %d exceeded %d consecutive timeouts; endpoint is stale",
+                int(self._server_ids[pos]),
+                self.max_fallback_polls,
+            )
+        self._stale = stale
+        fallback = timed_out & ~stale
+        n_fallbacks = int(np.count_nonzero(fallback))
+        n_stale = int(np.count_nonzero(stale))
+        if n_fallbacks:
+            self.fallbacks_used += n_fallbacks
+            self._fallbacks_counter.inc(n_fallbacks)
+        if n_stale:
+            self.stale_reads += n_stale
+            self._stale_reads_counter.inc(n_stale)
+        self._last_known[success] = readings[success]
+        out = readings.copy()
+        out[fallback] = self._last_known[fallback]
+        out[stale] = np.nan
+        return out
+
+    @property
+    def stale_ids(self) -> Set[int]:
+        """Server ids of endpoints currently stale (reading NaN)."""
+        return {int(self._server_ids[pos]) for pos in np.flatnonzero(self._stale)}
+
+    @property
+    def stale_count(self) -> int:
+        return int(np.count_nonzero(self._stale))
+
     @property
     def total_polls(self) -> int:
-        return sum(e.polls for e in self.endpoints.values())
+        return self._polls
 
     @property
     def total_timeouts(self) -> int:
-        return sum(e.timeouts for e in self.endpoints.values())
+        return self._timeouts
 
 
 __all__ = ["BmcEndpoint", "IpmiFleet"]

@@ -303,11 +303,16 @@ class PowerMonitor:
                 instruments = self._group_instruments[group.name]
                 fleet = self._fleets.get(group.name)
                 if fleet is not None:
-                    polled = fleet.poll_all()
-                    readings = np.array(
-                        [polled[s.server_id] for s in group.servers], dtype=float
-                    )
-                    instruments["stale_endpoints"].set(len(fleet.stale_ids))
+                    if fleet.vectorized:
+                        # Array sweep, bit-identical to the dict path
+                        # under the fleet draw-order contract.
+                        readings = fleet.poll_all_array()
+                    else:
+                        polled = fleet.poll_all()
+                        readings = np.array(
+                            [polled[s.server_id] for s in group.servers], dtype=float
+                        )
+                    instruments["stale_endpoints"].set(fleet.stale_count)
                     stale = int(np.count_nonzero(~np.isfinite(readings)))
                     if stale:
                         self.stale_readings += stale
@@ -326,11 +331,10 @@ class PowerMonitor:
                             )
                             continue
                 else:
-                    true_powers = np.fromiter(
-                        (server.power_watts() for server in group.servers),
-                        dtype=float,
-                        count=len(group.servers),
-                    )
+                    # Per-server true power: an array expression on the
+                    # vectorized backend, a per-object loop otherwise --
+                    # bit-identical either way (see ClusterState).
+                    true_powers = group.server_powers()
                     if self.noise_sigma > 0:
                         noise = 1.0 + self.noise_sigma * self.rng.standard_normal(
                             len(true_powers)
@@ -446,10 +450,15 @@ class PowerMonitor:
             )
         else:
             noise = np.ones(len(group.servers))
-        for server, factor in zip(group.servers, noise):
-            readings[server.server_id] = (
-                server.power_watts() * factor * self.sensor_bias
-            )
+        if group.vectorized:
+            values = group.server_powers() * noise * self.sensor_bias
+            for server, value in zip(group.servers, values):
+                readings[server.server_id] = float(value)
+        else:
+            for server, factor in zip(group.servers, noise):
+                readings[server.server_id] = (
+                    server.power_watts() * factor * self.sensor_bias
+                )
         return readings
 
     def violation_count(self, group_name: str) -> int:

@@ -82,6 +82,11 @@ class CampaignRunConfig:
     #: cells split servers into a hot row at the cell's workload and a
     #: cold row at ``workload.scaled(fleet_skew)``)
     fleet_skew: float = 0.25
+    #: hot-loop engine backend for every cell ("object"/"vectorized"/
+    #: None = process default). Workers resolve None against the
+    #: REPRO_ENGINE_BACKEND environment variable, which child processes
+    #: inherit, so serial and parallel campaigns agree on the backend.
+    engine_backend: Optional[str] = None
 
 
 #: Canonical column order of a campaign row record. ``save_csv`` writes
@@ -202,6 +207,7 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         faults=config.faults,
         safety=config.safety,
         telemetry_enabled=config.telemetry,
+        engine_backend=config.engine_backend,
     )
     outcome = ControlledExperiment(experiment_config).run()
     summary = outcome.experiment.summary
@@ -258,6 +264,7 @@ def _run_fleet_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRo
         safety=config.safety,
         faults=config.faults,
         telemetry_enabled=config.telemetry,
+        engine_backend=config.engine_backend,
     )
     result = FleetExperiment(fleet_config).run()
     duration_minutes = config.duration_hours * 60.0
@@ -376,6 +383,7 @@ class Campaign:
         telemetry: bool = False,
         fleet: Optional[FleetConfig] = None,
         fleet_skew: float = 0.25,
+        engine_backend: Optional[str] = None,
     ) -> None:
         if not ratios:
             raise ValueError("campaign needs at least one over-provision ratio")
@@ -402,6 +410,7 @@ class Campaign:
             telemetry=telemetry,
             fleet=fleet,
             fleet_skew=fleet_skew,
+            engine_backend=engine_backend,
         )
 
     # Backwards-compatible views of the per-cell configuration.

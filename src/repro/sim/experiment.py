@@ -78,6 +78,11 @@ class ExperimentConfig:
     #: collect metrics and spans for this run (off by default; the
     #: disabled path is a shared no-op and never perturbs trajectories)
     telemetry_enabled: bool = False
+    #: hot-loop engine backend: "object", "vectorized", or None to defer
+    #: to the process default / REPRO_ENGINE_BACKEND environment variable.
+    #: Both backends produce byte-identical trajectories (see
+    #: tests/test_backend_equivalence.py); the switch only changes speed.
+    engine_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -196,6 +201,7 @@ class ControlledExperiment:
             monitor_noise_sigma=config.monitor_noise_sigma,
             placement_policy=config.placement_policy,
             telemetry=self.telemetry,
+            engine_backend=config.engine_backend,
         )
         self.experiment_group, self.control_group = self.testbed.split_by_parity()
         self.experiment_group.set_over_provision_ratio(config.over_provision_ratio)

@@ -109,6 +109,9 @@ class FleetExperimentConfig:
     #: False runs the same fleet with no coordinator at all -- the
     #: reference the `static` policy must be bit-identical to
     coordinator_enabled: bool = True
+    #: hot-loop engine backend ("object"/"vectorized"/None = process
+    #: default); trajectories are byte-identical across backends
+    engine_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.rows:
@@ -208,6 +211,14 @@ class FleetExperiment:
         monitor_seed = children[0]
 
         # --- topology: one row per spec, ids globally unique ----------
+        # All rows share one columnar store, so facility-level rollups
+        # vectorize across the whole fleet in a single slice.
+        from repro.cluster.state import ClusterState
+
+        self.state = ClusterState(
+            capacity=sum(spec.n_servers for spec in config.rows),
+            backend=config.engine_backend,
+        )
         self.rows: List[Row] = []
         first_id = 0
         for index, spec in enumerate(config.rows):
@@ -216,6 +227,7 @@ class FleetExperiment:
                 racks=spec.n_servers // config.servers_per_rack,
                 servers_per_rack=config.servers_per_rack,
                 first_server_id=first_id,
+                state=self.state,
             )
             row.set_over_provision_ratio(config.over_provision_ratio)
             self.rows.append(row)

@@ -1,11 +1,34 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.cluster.power import PowerModelParams
 from repro.cluster.server import Server
+from repro.cluster.state import BACKEND_ENV_VAR, BACKENDS, set_default_backend
 from repro.sim.engine import Engine
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-backend",
+        choices=BACKENDS,
+        default=None,
+        help="replay the whole suite against one engine backend "
+        "(trajectories are byte-identical across backends, so every "
+        "test must pass unchanged under either)",
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--engine-backend")
+    if backend is not None:
+        # Install via the environment as well as the process default so
+        # campaign worker processes spawned by parallel tests inherit it.
+        os.environ[BACKEND_ENV_VAR] = backend
+        set_default_backend(backend)
 
 
 @pytest.fixture

@@ -1,0 +1,200 @@
+"""Differential harness: object vs vectorized engine backends.
+
+The vectorized engine core (`repro.cluster.state`) promises *byte
+identity*, not approximate agreement: every serialized trajectory,
+metrics snapshot and campaign row must come out bit-for-bit the same on
+both backends, at every scale, under every hazard. These tests run the
+pinned surfaces of the repo -- the seeded golden experiment, chaos
+scenarios (demand surge, crash storm), the fleet A/B, and campaigns
+both serial and parallel -- once per backend and compare the full
+serialized documents.
+
+The only permitted difference is the ``engine_backend`` *label* in the
+serialized config (it records which backend ran); the comparison
+normalizes that one key and nothing else.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.serialize import (
+    campaign_rows_to_dicts,
+    fleet_result_to_dict,
+    result_to_dict,
+)
+from repro.cluster.datacenter import build_row
+from repro.core.safety import SafetyConfig
+from repro.faults.scenario import builtin_scenarios
+from repro.fleet.config import FleetConfig
+from repro.monitor.power_monitor import PowerMonitor
+from repro.sim.campaign import Campaign
+from repro.sim.engine import Engine
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.fleet_experiment import (
+    FleetExperiment,
+    FleetExperimentConfig,
+    FleetRowSpec,
+)
+from repro.sim.testbed import WorkloadSpec
+
+BACKENDS = ("object", "vectorized")
+
+
+def canonical(document: dict) -> str:
+    """Serialized form used for byte comparison, backend label masked."""
+    if "config" in document and isinstance(document["config"], dict):
+        document["config"].pop("engine_backend", None)
+    return json.dumps(document, sort_keys=True)
+
+
+def run_experiment(backend: str, **overrides) -> str:
+    config = ExperimentConfig(
+        n_servers=80,
+        duration_hours=1.0,
+        warmup_hours=0.25,
+        over_provision_ratio=0.25,
+        capping_enabled=True,
+        workload=WorkloadSpec(target_utilization=0.33, modulation_sigma=0.05),
+        seed=42,
+        engine_backend=backend,
+        **overrides,
+    )
+    result = ControlledExperiment(config).run()
+    return canonical(result_to_dict(result, include_series=True))
+
+
+class TestExperimentTrajectories:
+    def test_seeded_experiment_byte_identical(self):
+        assert run_experiment("object") == run_experiment("vectorized")
+
+    @pytest.mark.parametrize("scenario", ["surge", "crash-storm"])
+    def test_chaos_scenarios_byte_identical(self, scenario):
+        """Hazard paths (mass failures, demand surges) under the safety
+        ladder, with telemetry on so the metrics snapshot is compared."""
+
+        def run(backend: str) -> str:
+            config = ExperimentConfig(
+                n_servers=40,
+                duration_hours=1.5,
+                warmup_hours=1.0,  # builtin scenario times assume 1 h
+                over_provision_ratio=0.25,
+                workload=WorkloadSpec.typical(),
+                capping_enabled=True,
+                seed=7,
+                faults=builtin_scenarios()[scenario],
+                safety=SafetyConfig(),
+                telemetry_enabled=True,
+                engine_backend=backend,
+            )
+            result = ControlledExperiment(config).run()
+            return canonical(result_to_dict(result, include_series=True))
+
+        assert run("object") == run("vectorized")
+
+
+class TestFleetTrajectories:
+    def test_fleet_ab_byte_identical(self):
+        """Multi-row fleet with coordinator: the A/B of hot vs cold rows
+        under one facility budget, shared columnar store across rows."""
+
+        def run(backend: str) -> str:
+            config = FleetExperimentConfig(
+                rows=(
+                    FleetRowSpec(
+                        n_servers=40,
+                        workload=WorkloadSpec(target_utilization=0.35),
+                    ),
+                    FleetRowSpec(
+                        n_servers=40,
+                        workload=WorkloadSpec(target_utilization=0.08),
+                    ),
+                ),
+                duration_hours=1.0,
+                warmup_hours=0.25,
+                fleet=FleetConfig(policy="demand-following"),
+                seed=11,
+                engine_backend=backend,
+            )
+            result = FleetExperiment(config).run()
+            return canonical(fleet_result_to_dict(result))
+
+        assert run("object") == run("vectorized")
+
+
+class TestCampaignRows:
+    @pytest.fixture(scope="class")
+    def campaign_rows(self):
+        """Campaign CSV rows per (backend, mode) -- serial and parallel."""
+
+        def rows(backend: str, parallel: bool) -> str:
+            campaign = Campaign(
+                ratios=(0.25,),
+                workloads={"typical": WorkloadSpec.typical()},
+                seeds=(3, 5),
+                n_servers=80,
+                duration_hours=0.2,
+                warmup_hours=0.05,
+                engine_backend=backend,
+            )
+            result = (
+                campaign.run_parallel(max_workers=2) if parallel else campaign.run()
+            )
+            return json.dumps(campaign_rows_to_dicts(result.rows), sort_keys=True)
+
+        return {
+            (backend, mode): rows(backend, mode == "parallel")
+            for backend in BACKENDS
+            for mode in ("serial", "parallel")
+        }
+
+    def test_campaign_serial_byte_identical_across_backends(self, campaign_rows):
+        assert campaign_rows[("object", "serial")] == campaign_rows[
+            ("vectorized", "serial")
+        ]
+
+    def test_campaign_parallel_matches_serial_per_backend(self, campaign_rows):
+        """The parallel runner must agree with the serial reference on
+        each backend (workers resolve the backend from the pickled
+        run config, not process-local globals)."""
+        for backend in BACKENDS:
+            assert campaign_rows[(backend, "serial")] == campaign_rows[
+                (backend, "parallel")
+            ]
+
+
+class TestIpmiSweeps:
+    def test_ipmi_sweep_byte_identical(self):
+        """The batched IPMI sweep (timeouts, fallback carry, staleness,
+        quantization) matches the per-endpoint path bit-for-bit."""
+
+        def run(backend: str):
+            row = build_row(0, racks=2, servers_per_rack=10, engine_backend=backend)
+            monitor = PowerMonitor(
+                Engine(),
+                noise_sigma=0.01,
+                rng=np.random.default_rng(7),
+                ipmi_failure_rate=0.2,
+                store_per_server=True,
+            )
+            monitor.register_group(row)
+            for _ in range(40):
+                monitor.sample_once()
+            _, values = monitor.power_series(row.name)
+            per_server = [
+                monitor.db.query(f"power/server/{sid}")[1].tobytes()
+                for sid in (0, 5, 19)
+            ]
+            fleet = monitor._fleets[row.name]
+            return (
+                values.tobytes(),
+                per_server,
+                fleet.total_polls,
+                fleet.total_timeouts,
+                fleet.fallbacks_used,
+                fleet.stale_reads,
+                sorted(fleet.stale_ids),
+            )
+
+        assert run("object") == run("vectorized")

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.cluster.capping import CappingEngine
+from repro.cluster.datacenter import build_row
 from repro.cluster.group import ServerGroup
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
 from repro.workload.job import Job
 from tests.conftest import make_server
 
@@ -215,3 +218,71 @@ class TestCappingUnderFailures:
         victim.repair()
         assert victim.frequency == 1.0
         assert not victim.failed
+
+
+class TestMidTickFailureAcrossBackends:
+    """Regression for the capped-time seam under the vectorized store.
+
+    A capped server that dies *between* two capping control ticks (the
+    crash event lands mid-interval, scheduled on the simulation engine)
+    must stop accruing capped-server-seconds, come back at full
+    frequency, and produce bit-identical capping books on the object and
+    vectorized backends.
+    """
+
+    @staticmethod
+    def run_scenario(backend):
+        engine = Engine()
+        row = build_row(0, racks=1, servers_per_rack=8, engine_backend=backend)
+        for i, server in enumerate(row.servers):
+            server.add_task(Job(i, 1e6, cores=14, memory_gb=1.0))
+        row.power_budget_watts = row.power_watts() * 0.85
+        capper = CappingEngine(row, engine, interval=1.0)
+        capper.start(until=10.0, first_at=1.0)
+
+        trace = {}
+
+        def crash():
+            capped = [s for s in row.servers if s.is_capped]
+            assert capped, "scenario must produce at least one capped server"
+            victim = capped[0]
+            victim.fail()
+            trace["victim"] = victim
+            trace["at_crash"] = capper.stats.capped_server_seconds
+
+        # Mid-interval: caps applied at t=1.0, next accounting at t=2.0.
+        engine.schedule(1.5, EventPriority.GENERIC, crash)
+        engine.run(until=10.0)
+        return row, capper, trace
+
+    @pytest.mark.parametrize("backend", ["object", "vectorized"])
+    def test_mid_tick_failure_stops_capped_time(self, backend):
+        row, capper, trace = self.run_scenario(backend)
+        victim = trace["victim"]
+        # The crash cleared DVFS state immediately (POST at full speed).
+        assert victim.failed
+        assert victim.frequency == 1.0
+        assert not victim.is_capped
+        # Accounting kept running for the surviving capped servers but
+        # never billed the dead one after the crash: with n_capped alive
+        # at each tick, the total stays a multiple of the interval times
+        # live capped counts -- the victim's own accrual is frozen at or
+        # below its pre-crash value plus zero.
+        assert capper.stats.capped_server_seconds > trace["at_crash"]
+        survivors = [s for s in row.servers if s.is_capped]
+        assert victim not in survivors
+        # And the dead server draws nothing into the row aggregate.
+        assert victim.power_watts() == 0.0
+
+    def test_books_byte_identical_across_backends(self):
+        obj_row, obj_capper, obj_trace = self.run_scenario("object")
+        vec_row, vec_capper, vec_trace = self.run_scenario("vectorized")
+        assert obj_capper.stats == vec_capper.stats
+        assert obj_trace["at_crash"] == vec_trace["at_crash"]
+        assert obj_row.power_watts() == vec_row.power_watts()
+        assert [s.frequency for s in obj_row.servers] == [
+            s.frequency for s in vec_row.servers
+        ]
+        assert [s.failed for s in obj_row.servers] == [
+            s.failed for s in vec_row.servers
+        ]

@@ -55,9 +55,16 @@ class TestIpmiFleet:
         for _ in range(10):
             readings = fleet.poll_all()
             assert set(readings) == {s.server_id for s in servers}
-            assert all(v >= 0 for v in readings.values())
+            # Every reading is a real wattage, except NaN where the BMC
+            # blew its bounded fallback budget.
+            assert all(
+                v >= 0 or np.isnan(v) for v in readings.values()
+            )
         assert fleet.total_timeouts > 0
-        assert fleet.fallbacks_used == fleet.total_timeouts
+        # Every timeout is covered: by the last known value while within
+        # the fallback budget, as an explicit stale NaN beyond it.
+        assert fleet.fallbacks_used + fleet.stale_reads == fleet.total_timeouts
+        assert fleet.fallbacks_used > 0
 
     def test_fallback_uses_last_known(self, rng):
         server = make_server()
