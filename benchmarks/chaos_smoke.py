@@ -30,8 +30,19 @@ import traceback
 from repro.core.safety import SafetyConfig
 from repro.faults.scenario import builtin_scenarios
 from repro.analysis.serialize import fleet_result_to_dict, result_to_dict
+from repro.sim.audit import AuditorConfig
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
+
+
+def _auditor_config(args: argparse.Namespace):
+    """Aggressive auditing for --audit legs: every tick-minute, full
+    sweep, raise on the first violation (fails the leg with exit 2)."""
+    if not args.audit:
+        return None
+    return AuditorConfig(
+        interval_seconds=60.0, sample_fraction=1.0, on_violation="raise"
+    )
 
 
 def run_fleet_once(scenario_name: str, args: argparse.Namespace) -> str:
@@ -67,6 +78,7 @@ def run_fleet_once(scenario_name: str, args: argparse.Namespace) -> str:
         safety=SafetyConfig(),
         telemetry_enabled=True,
         engine_backend=args.engine_backend,
+        auditor=_auditor_config(args),
     )
     result = FleetExperiment(config).run()
     return json.dumps(fleet_result_to_dict(result), sort_keys=False)
@@ -88,6 +100,7 @@ def run_once(scenario_name: str, args: argparse.Namespace) -> str:
         safety=SafetyConfig(),
         telemetry_enabled=True,
         engine_backend=args.engine_backend,
+        auditor=_auditor_config(args),
     )
     result = ControlledExperiment(config).run()
     return json.dumps(result_to_dict(result), sort_keys=False)
@@ -110,6 +123,12 @@ def main(argv=None) -> int:
         choices=("object", "vectorized"),
         default=None,
         help="hot-loop engine backend (default: process/environment default)",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="arm the online state-invariant auditor at full sampling "
+        "every sim-minute; any invariant violation crashes the leg",
     )
     args = parser.parse_args(argv)
 

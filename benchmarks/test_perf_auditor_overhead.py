@@ -1,0 +1,79 @@
+"""Perf gate for the online state-invariant auditor (``repro.sim.audit``).
+
+An auditor nobody can afford to leave on is an auditor that is off when
+the corruption happens. The contract pinned here: at its *default*
+configuration (five-minute cadence, 25% deterministic sampling) the
+auditor adds **less than 5%** wall-clock to a representative safety-armed
+experiment. Measurements go to ``BENCH_auditor.json`` for CI to publish.
+
+The comparison runs the same seeded configuration with and without the
+auditor; trajectories are identical either way (the auditor consumes no
+RNG and mutates nothing -- see ``tests/test_auditor.py``), so the delta
+is pure audit cost.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.safety import SafetyConfig
+from repro.durability.atomic import atomic_write_text
+from repro.sim.audit import AuditorConfig
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.testbed import WorkloadSpec
+
+N_SERVERS = 200
+HOURS = 4.0
+REPEATS = 3
+MAX_OVERHEAD = 0.05
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_auditor.json"
+
+
+def _run_seconds(auditor: AuditorConfig | None) -> float:
+    """Median wall-clock of the reference experiment, auditor optional."""
+    samples = []
+    for _ in range(REPEATS):
+        config = ExperimentConfig(
+            n_servers=N_SERVERS,
+            duration_hours=HOURS,
+            warmup_hours=0.5,
+            workload=WorkloadSpec.typical(),
+            capping_enabled=True,
+            safety=SafetyConfig(),
+            seed=11,
+            auditor=auditor,
+        )
+        started = time.perf_counter()
+        ControlledExperiment(config).run()
+        samples.append(time.perf_counter() - started)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_perf_auditor_overhead_under_5_percent():
+    """Default-config auditing costs < 5% wall-clock."""
+    baseline_s = _run_seconds(None)
+    default_config = AuditorConfig()
+    audited_s = _run_seconds(default_config)
+    overhead = audited_s / baseline_s - 1.0
+    results = {
+        "n_servers": N_SERVERS,
+        "hours": HOURS,
+        "repeats": REPEATS,
+        "interval_seconds": default_config.interval_seconds,
+        "sample_fraction": default_config.sample_fraction,
+        "baseline_s": round(baseline_s, 3),
+        "audited_s": round(audited_s, 3),
+        "overhead_fraction": round(overhead, 4),
+        "gate": MAX_OVERHEAD,
+    }
+    atomic_write_text(ARTIFACT, json.dumps(results, indent=2) + "\n")
+    print(
+        f"\nauditor overhead: baseline {baseline_s:.2f}s, "
+        f"audited {audited_s:.2f}s -> {overhead:+.1%} "
+        f"(gate {MAX_OVERHEAD:.0%}); wrote {ARTIFACT}"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"default-sampling auditor costs {overhead:.1%} wall-clock "
+        f"(gate {MAX_OVERHEAD:.0%}): baseline {baseline_s:.2f}s vs "
+        f"audited {audited_s:.2f}s"
+    )

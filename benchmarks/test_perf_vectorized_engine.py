@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.datacenter import build_row
+from repro.durability.atomic import atomic_write_text
 from repro.cluster.power import PowerModelParams
 from repro.cluster.server import Server
 from repro.cluster.state import ClusterState
@@ -142,5 +143,5 @@ def test_perf_write_artifact():
         "artifact test must run after the measurement tests (pytest "
         "runs this file top to bottom)"
     )
-    ARTIFACT.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    atomic_write_text(ARTIFACT, json.dumps(RESULTS, indent=2) + "\n")
     print(f"\nwrote {ARTIFACT}")

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Union
 import numpy as np
 
 from repro.analysis.metrics import GroupRunSummary
+from repro.durability.atomic import atomic_write_text
 from repro.sim.campaign import CampaignCell, CampaignResult, CampaignRow
 from repro.sim.experiment import ExperimentResult, GroupOutcome
 from repro.sim.testbed import WorkloadSpec
@@ -131,9 +132,8 @@ def save_result_json(
     path: Union[str, Path],
     include_series: bool = True,
 ) -> None:
-    """Write a result to ``path`` as indented JSON."""
-    with open(path, "w") as handle:
-        json.dump(result_to_dict(result, include_series), handle, indent=2)
+    """Write a result to ``path`` as indented JSON (atomically)."""
+    atomic_write_text(path, json.dumps(result_to_dict(result, include_series), indent=2))
 
 
 def load_result_dict(path: Union[str, Path]) -> Dict[str, Any]:
@@ -211,9 +211,8 @@ def campaign_rows_to_dicts(rows: Iterable[CampaignRow]) -> List[Dict[str, Any]]:
 def save_campaign_json(
     result: CampaignResult, path: Union[str, Path]
 ) -> None:
-    """Archive a campaign's rows (full cells, reconstructable)."""
-    with open(path, "w") as handle:
-        json.dump(campaign_rows_to_dicts(result.rows), handle, indent=2)
+    """Archive a campaign's rows (full cells, reconstructable; atomic)."""
+    atomic_write_text(path, json.dumps(campaign_rows_to_dicts(result.rows), indent=2))
 
 
 def load_campaign_result(path: Union[str, Path]) -> CampaignResult:

@@ -10,8 +10,10 @@ Exposes the main experiment harnesses without writing Python::
     ampere-repro trace --days 1
     ampere-repro fleet --hours 6 --policies static demand-following
     ampere-repro campaign --fleet-policy demand-following --hours 6
+    ampere-repro campaign --checkpoint-dir ck/ --resume
     ampere-repro metrics --hours 2 --json snapshot.json
     ampere-repro spans --hours 2
+    ampere-repro verify-snapshot run.snap
 
 (``run`` is an alias of ``experiment``; ``--faults`` injects one of the
 named fault scenarios from :mod:`repro.faults` -- control-plane and
@@ -39,6 +41,8 @@ from typing import List, Optional
 
 from repro.analysis.report import format_percent, render_table
 from repro.cluster.state import BACKEND_ENV_VAR, BACKENDS, set_default_backend
+from repro.durability.atomic import atomic_write_text
+from repro.sim.audit import ALL_CHECKS as AUDIT_CHECKS
 from repro.faults.scenario import builtin_scenarios
 from repro.fleet.config import POLICY_NAMES
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
@@ -119,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm the breaker model and the emergency safety ladder "
         "(repro.core.safety)",
+    )
+    experiment.add_argument(
+        "--save-snapshot",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a durable snapshot of the finished simulation state "
+        "to PATH (verify it later with 'verify-snapshot')",
     )
 
     sweep = sub.add_parser("sweep", help="G_TPW sweep over r_O (Table 3 / Section 4.4)")
@@ -207,6 +219,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="cold-row intensity as a fraction of the cell workload "
         "(fleet cells only)",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="durably record every finished cell in DIR (atomic writes); "
+        "a killed campaign can then be continued with --resume",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a checkpointed campaign: cells already recorded "
+        "in --checkpoint-dir are restored instead of re-run",
+    )
+    campaign.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="parallel runs only: re-dispatch a cell whose worker has "
+        "been silent for this long (straggler speculation)",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel runs only: resubmit a failing cell N times "
+        "before quarantining it as a failed row (default 1)",
+    )
+
+    verify = sub.add_parser(
+        "verify-snapshot",
+        help="restore a durable snapshot and run the full state-invariant "
+        "audit suite against it (repro.sim.audit)",
+    )
+    verify.add_argument("path", help="snapshot file written by --save-snapshot")
+    verify.add_argument(
+        "--checks",
+        nargs="+",
+        choices=AUDIT_CHECKS,
+        default=None,
+        metavar="CHECK",
+        help=f"restrict to specific checks ({', '.join(AUDIT_CHECKS)}; "
+        "default: all)",
     )
 
     fleet = sub.add_parser(
@@ -395,7 +453,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         faults=SCENARIOS[args.faults] if args.faults else None,
         safety=SafetyConfig() if args.safety else None,
     )
-    result = ControlledExperiment(config).run()
+    experiment = ControlledExperiment(config)
+    result = experiment.run()
     print(
         render_table(
             ["group", "u_mean", "u_max", "P_mean", "P_max", "violations"],
@@ -406,6 +465,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     _print_facility_line(result)
     _print_fault_report(result)
     _print_safety_report(result)
+    if args.save_snapshot:
+        experiment.save_snapshot(args.save_snapshot)
+        print(f"snapshot written to {args.save_snapshot}", file=sys.stderr)
     return 0
 
 
@@ -529,6 +591,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.core.safety import SafetyConfig
     from repro.fleet.config import FleetConfig
     from repro.sim.campaign import Campaign, CampaignCell, CampaignRow
+    from repro.sim.checkpoint import CheckpointError
 
     fleet = (
         FleetConfig(policy=args.fleet_policy)
@@ -566,12 +629,30 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             status = f"G_TPW = {format_percent(row.g_tpw)}"
         print(f"  [{done[0]}/{total}] {cell.label()}: {status}", flush=True)
 
-    if workers is not None:
-        print(f"running {total} cells on {workers} workers ...")
-        result = campaign.run_parallel(max_workers=workers, on_cell=progress)
-    else:
-        print(f"running {total} cells ...")
-        result = campaign.run(on_cell=progress)
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        if workers is not None:
+            print(f"running {total} cells on {workers} workers ...")
+            result = campaign.run_parallel(
+                max_workers=workers,
+                on_cell=progress,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                cell_timeout=args.cell_timeout,
+                retries=args.retries,
+            )
+        else:
+            print(f"running {total} cells ...")
+            result = campaign.run(
+                on_cell=progress,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if result.failed_rows:
         print(f"warning: {len(result.failed_rows)} cells failed; see rows below")
     if fleet is not None:
@@ -693,8 +774,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             policy: fleet_result_to_dict(result)
             for policy, result in results.items()
         }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
+        atomic_write_text(args.json, json.dumps(payload, indent=2))
         print(f"results written to {args.json}", file=sys.stderr)
     return 0
 
@@ -724,8 +804,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     text = render_prometheus(registry)
     print(text, end="")
     if args.prom:
-        with open(args.prom, "w") as handle:
-            handle.write(text)
+        atomic_write_text(args.prom, text)
         print(f"# exposition written to {args.prom}", file=sys.stderr)
     if args.json:
         save_snapshot(registry, args.json)
@@ -774,6 +853,50 @@ def cmd_spans(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify_snapshot(args: argparse.Namespace) -> int:
+    from repro.durability import SnapshotError, read_header
+    from repro.sim.audit import AuditorConfig
+
+    try:
+        header = read_header(args.path)
+    except (OSError, SnapshotError) as exc:
+        print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
+        return 2
+    kind = header.get("kind")
+    try:
+        if kind == "experiment":
+            experiment = ControlledExperiment.restore(args.path)
+        elif kind == "fleet":
+            from repro.sim.fleet_experiment import FleetExperiment
+
+            experiment = FleetExperiment.restore(args.path)
+        else:
+            print(f"error: unknown snapshot kind {kind!r}", file=sys.stderr)
+            return 2
+    except SnapshotError as exc:
+        print(f"error: snapshot rejected: {exc}", file=sys.stderr)
+        return 2
+    meta = header.get("meta", {})
+    described = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    print(f"snapshot: kind={kind}  {described}")
+    checks = tuple(args.checks) if args.checks else AUDIT_CHECKS
+    auditor = experiment.build_auditor(
+        AuditorConfig(sample_fraction=1.0, on_violation="record", checks=checks)
+    )
+    violations = auditor.audit(sample=False)
+    for check in checks:
+        failures = [v for v in violations if v.check == check]
+        status = "ok" if not failures else f"{len(failures)} violation(s)"
+        print(f"  {check:<12s} {status}")
+        for violation in failures:
+            print(f"    - {violation.message}")
+    if violations:
+        print(f"FAILED: {len(violations)} invariant violation(s)")
+        return 1
+    print("all invariants hold")
+    return 0
+
+
 COMMANDS = {
     "experiment": cmd_experiment,
     "run": cmd_experiment,  # alias registered on the subparser
@@ -786,6 +909,7 @@ COMMANDS = {
     "fleet": cmd_fleet,
     "metrics": cmd_metrics,
     "spans": cmd_spans,
+    "verify-snapshot": cmd_verify_snapshot,
 }
 
 

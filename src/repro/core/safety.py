@@ -363,6 +363,27 @@ class SafetySupervisor:
             )
 
     # ------------------------------------------------------------------
+    def raise_alarm(self, reason: str) -> None:
+        """External escalation hook: force the ladder to at least WARNING.
+
+        Used by the state auditor when an invariant violation suggests
+        the control plane can no longer be trusted -- freezing the group
+        (the SLA-safe response) buys time without damaging running work.
+        The normal hysteretic de-escalation path unwinds the alarm once
+        ticks observe a calm, consistent state.
+        """
+        logger.error(
+            "safety alarm on %s at t=%.0fs: %s",
+            self.group.name,
+            self.engine.now,
+            reason,
+        )
+        if self.state < SafetyState.WARNING:
+            self._transition(SafetyState.WARNING)
+            self._calm_ticks = 0
+            self._freeze_all()
+
+    # ------------------------------------------------------------------
     def stats_snapshot(self) -> SafetyStats:
         return self.stats.snapshot()
 

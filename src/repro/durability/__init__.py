@@ -1,0 +1,43 @@
+"""``repro.durability`` -- crash consistency and durable simulation state.
+
+Two layers:
+
+- :mod:`~repro.durability.atomic` -- the single atomic-write helper
+  behind every file artifact the harness produces (CSV exports, golden
+  fixtures, benchmark gates, checkpoints, snapshots).
+- :mod:`~repro.durability.snapshot` -- versioned, checksummed frames
+  around a pickled live experiment, the substrate of
+  ``ControlledExperiment.snapshot()/restore()`` and the ``repro
+  verify-snapshot`` CLI command.
+
+Campaign-level checkpoint/resume builds on both from
+:mod:`repro.sim.checkpoint`; the online invariant auditor that validates
+restored state lives in :mod:`repro.sim.audit`.
+"""
+
+from repro.durability.atomic import atomic_write_bytes, atomic_write_text
+from repro.durability.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    decode_header,
+    decode_snapshot,
+    encode_snapshot,
+    read_header,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "decode_header",
+    "decode_snapshot",
+    "encode_snapshot",
+    "read_header",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,68 @@
+"""Crash-consistent file writes: write-temp, fsync, rename.
+
+Every file artifact the harness produces -- campaign CSVs, golden JSON
+fixtures, benchmark gate artifacts, telemetry snapshots, durable
+simulation snapshots -- goes through this one helper. A plain
+``open(path, "w")`` torn by a SIGKILL (or a full disk) leaves a
+half-written file that a later resume would happily read; writing to a
+temp file in the *same directory* and ``os.replace``-ing it over the
+target makes the update atomic on POSIX: readers observe either the old
+complete file or the new complete file, never a prefix.
+
+``fsync`` before the rename orders the data write against the rename on
+journaled filesystems; without it a power loss can surface a renamed but
+empty file. (Directory-entry durability would additionally need an fsync
+on the parent directory; for the harness's checkpoint protocol the
+data-before-rename ordering is the part that matters -- a lost rename
+just re-runs one cell.)
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The temp file lives next to the target so the final ``os.replace``
+    never crosses a filesystem boundary (cross-device renames are copies,
+    not atomic).
+    """
+    target = Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        # Leave no temp litter on failure (including KeyboardInterrupt);
+        # a hard kill between mkstemp and replace still can, which is why
+        # the prefix marks the file as disposable.
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text`` (no newline translation).
+
+    Callers that need CSV's ``\\r\\n`` line terminators should render
+    through ``io.StringIO`` first (the ``csv`` module writes its own
+    terminators), then hand the finished string here.
+    """
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]

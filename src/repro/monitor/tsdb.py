@@ -12,10 +12,13 @@ from __future__ import annotations
 
 import bisect
 import csv
+import io
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.durability.atomic import atomic_write_text
 
 
 class TimeSeries:
@@ -161,14 +164,15 @@ class TimeSeriesDatabase:
         Returns the number of points written.
         """
         count = 0
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["metric", "timestamp", "value"])
-            for name in self.names():
-                series = self._series[name]
-                for t, v in zip(series.times(), series.values()):
-                    writer.writerow([name, repr(float(t)), repr(float(v))])
-                    count += 1
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["metric", "timestamp", "value"])
+        for name in self.names():
+            series = self._series[name]
+            for t, v in zip(series.times(), series.values()):
+                writer.writerow([name, repr(float(t)), repr(float(v))])
+                count += 1
+        atomic_write_text(path, buffer.getvalue())
         return count
 
     @classmethod

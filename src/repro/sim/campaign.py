@@ -26,6 +26,7 @@ module-level function of picklable inputs (:class:`CampaignCell`,
 from __future__ import annotations
 
 import csv
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.safety import SafetyConfig
+from repro.durability.atomic import atomic_write_text
 from repro.faults.scenario import FaultScenario
 from repro.fleet.config import FleetConfig
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
@@ -349,14 +351,19 @@ class CampaignResult:
 
     # ------------------------------------------------------------------
     def save_csv(self, path: Union[str, Path]) -> None:
-        with open(path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=list(CAMPAIGN_RECORD_FIELDS))
-            writer.writeheader()
-            writer.writerows(row.as_record() for row in self.rows)
+        # Rendered fully in memory, then write-temp-then-rename: a crash
+        # mid-save leaves the previous file intact, never a torn CSV.
+        buffer = io.StringIO()
+        # csv's default \r\n terminator is kept so the bytes match what
+        # the previous direct-to-file writer produced.
+        writer = csv.DictWriter(buffer, fieldnames=list(CAMPAIGN_RECORD_FIELDS))
+        writer.writeheader()
+        writer.writerows(row.as_record() for row in self.rows)
+        atomic_write_text(path, buffer.getvalue())
 
     def save_json(self, path: Union[str, Path]) -> None:
-        with open(path, "w") as handle:
-            json.dump([row.as_record() for row in self.rows], handle, indent=2)
+        text = json.dumps([row.as_record() for row in self.rows], indent=2)
+        atomic_write_text(path, text)
 
 
 class Campaign:
@@ -429,15 +436,45 @@ class Campaign:
     def __len__(self) -> int:
         return len(self.cells)
 
-    def run(self, on_cell: Optional[CellCallback] = None) -> CampaignResult:
+    def _open_checkpoint(
+        self, checkpoint_dir: Optional[Union[str, Path]], resume: bool
+    ):
+        """Returns (checkpoint, completed-rows-by-index); (None, {}) if off."""
+        if checkpoint_dir is None:
+            if resume:
+                raise ValueError("resume=True requires a checkpoint_dir")
+            return None, {}
+        from repro.sim.checkpoint import CampaignCheckpoint
+
+        checkpoint = CampaignCheckpoint(checkpoint_dir)
+        completed = checkpoint.initialize(self.cells, self.run_config, resume=resume)
+        return checkpoint, completed
+
+    def run(
+        self,
+        on_cell: Optional[CellCallback] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+    ) -> CampaignResult:
         """Execute every cell serially; ``on_cell`` is called after each.
 
         This is the reference implementation that the parallel path is
         tested against; a cell that raises propagates the exception.
+
+        With ``checkpoint_dir`` set, every finished cell is durably
+        recorded (atomic write) before the next begins; ``resume=True``
+        restores previously recorded rows instead of re-running them
+        (``on_cell`` fires only for freshly executed cells).
         """
+        checkpoint, completed = self._open_checkpoint(checkpoint_dir, resume)
         result = CampaignResult()
-        for cell in self.cells:
+        for index, cell in enumerate(self.cells):
+            if index in completed:
+                result.rows.append(completed[index])
+                continue
             row = run_cell(cell, self.run_config)
+            if checkpoint is not None:
+                checkpoint.record(index, row)
             result.rows.append(row)
             if on_cell is not None:
                 on_cell(cell, row)
@@ -448,24 +485,57 @@ class Campaign:
         max_workers: Optional[int] = None,
         on_cell: Optional[CellCallback] = None,
         chunksize: int = 1,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        cell_timeout: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.0,
     ) -> CampaignResult:
         """Execute the grid on a process pool (see :mod:`repro.sim.parallel`).
 
         Returns rows identical to :meth:`run` for any ``max_workers``;
         ``on_cell`` fires in *completion* order (progress), while the
         returned rows are always in cell order. A cell that raises in a
-        worker is retried once and then recorded as a failed row
-        (``row.error``) instead of aborting the sweep.
+        worker is retried (``retries`` times, with optional exponential
+        ``retry_backoff`` seconds between attempts) and then recorded as
+        a failed row (``row.error``) instead of aborting the sweep;
+        ``cell_timeout`` additionally re-dispatches chunks whose worker
+        has gone silent for that many seconds (stragglers, lost
+        workers). Checkpointing semantics match :meth:`run`: finished
+        cells are durably recorded as they complete, and ``resume=True``
+        skips cells already on disk.
         """
         from repro.sim.parallel import run_cells_parallel
 
-        rows = run_cells_parallel(
-            self.cells,
+        checkpoint, completed = self._open_checkpoint(checkpoint_dir, resume)
+        pending = [
+            (index, cell)
+            for index, cell in enumerate(self.cells)
+            if index not in completed
+        ]
+        index_of = {id(cell): index for index, cell in pending}
+
+        def record(cell: CampaignCell, row: CampaignRow) -> None:
+            if checkpoint is not None:
+                checkpoint.record(index_of[id(cell)], row)
+            if on_cell is not None:
+                on_cell(cell, row)
+
+        fresh = run_cells_parallel(
+            [cell for _, cell in pending],
             self.run_config,
             max_workers=max_workers,
-            on_row=on_cell,
+            on_row=record,
             chunksize=chunksize,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            cell_timeout=cell_timeout,
         )
+        rows: List[Optional[CampaignRow]] = [None] * len(self.cells)
+        for index, row in completed.items():
+            rows[index] = row
+        for (index, _), row in zip(pending, fresh):
+            rows[index] = row
         return CampaignResult(rows=rows)
 
 

@@ -22,6 +22,56 @@ from repro.telemetry import Telemetry
 Callback = Callable[..., None]
 
 
+class _SimClock:
+    """Picklable sim-clock binding handed to the tracer.
+
+    A named class (not a lambda) so a live engine -- and everything that
+    holds a reference to its clock -- can cross a pickle boundary for
+    durable snapshots (:mod:`repro.durability`).
+    """
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+
+    def __call__(self) -> float:
+        return self.engine._now
+
+
+class _PeriodicTask:
+    """Self-rescheduling callable behind :meth:`Engine.schedule_periodic`.
+
+    Replaces the historical closure with a picklable object: the heap
+    entry it lives in must survive a snapshot/restore round trip
+    byte-identically. Behaviour is unchanged -- the callback fires, then
+    the next occurrence is scheduled one interval after *now* while it
+    stays strictly before ``until``.
+    """
+
+    __slots__ = ("engine", "interval", "priority", "callback", "until")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        interval: float,
+        priority: EventPriority,
+        callback: Callback,
+        until: Optional[float],
+    ) -> None:
+        self.engine = engine
+        self.interval = interval
+        self.priority = priority
+        self.callback = callback
+        self.until = until
+
+    def __call__(self) -> None:
+        self.callback()
+        next_time = self.engine._now + self.interval
+        if self.until is None or next_time < self.until:
+            self.engine.schedule(next_time, self.priority, self)
+
+
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
@@ -70,7 +120,7 @@ class Engine:
         # instruments resolve here once and the run loop only touches
         # pre-resolved handles (no-ops when telemetry is disabled).
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
-        self.telemetry.bind_sim_clock(lambda: self._now)
+        self.telemetry.bind_sim_clock(_SimClock(self))
         self._events_counter = self.telemetry.counter(
             "repro_engine_events_total", "Event callbacks executed by the engine"
         )
@@ -148,15 +198,9 @@ class Engine:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         start = self._now + interval if first_at is None else first_at
-
-        def _tick() -> None:
-            callback()
-            next_time = self._now + interval
-            if until is None or next_time < until:
-                self.schedule(next_time, priority, _tick)
-
+        task = _PeriodicTask(self, interval, priority, callback, until)
         if until is None or start < until:
-            self.schedule(start, priority, _tick)
+            self.schedule(start, priority, task)
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events in order until the heap empties or ``until``.

@@ -10,12 +10,14 @@ clock, and supports range queries and CSV export for post-mortems.
 from __future__ import annotations
 
 import csv
+import io
 from bisect import bisect_left
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.cluster.server import Server
+from repro.durability.atomic import atomic_write_text
 from repro.sim.engine import Engine
 from repro.telemetry import Telemetry
 from repro.telemetry.bridge import control_event_counter
@@ -130,13 +132,14 @@ class ControlEventLog:
 
     # ------------------------------------------------------------------
     def dump_csv(self, path: Union[str, Path]) -> int:
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["time", "kind", "server_id", "detail"])
-            for event in self.events:
-                writer.writerow(
-                    [repr(event.time), event.kind, event.server_id, event.detail]
-                )
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["time", "kind", "server_id", "detail"])
+        for event in self.events:
+            writer.writerow(
+                [repr(event.time), event.kind, event.server_id, event.detail]
+            )
+        atomic_write_text(path, buffer.getvalue())
         return len(self.events)
 
 

@@ -47,6 +47,12 @@ class EventPriority(enum.IntEnum):
     #: breaker physics integrate the *settled* electrical state -- after
     #: every control and capping action at this instant has landed.
     BREAKER_TICK = 65
+    #: the state auditor verifies invariants over the *fully settled*
+    #: instant -- after controllers, capping and breakers have all acted
+    #: -- so a violation it reports is a real inconsistency, not a
+    #: mid-transaction intermediate. The auditor consumes no RNG and
+    #: mutates nothing; attaching it never perturbs trajectories.
+    AUDIT_TICK = 68
     EXPERIMENT_HOOK = 70
     GENERIC = 100
 

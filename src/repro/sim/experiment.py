@@ -21,7 +21,8 @@ Two scaling modes match the paper's two uses of the harness:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
@@ -45,6 +46,7 @@ from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.scenario import FaultScenario
 from repro.scheduler.base import InstrumentedScheduler, SchedulerInterface
 from repro.scheduler.policies import PlacementPolicy
+from repro.sim.audit import AuditStats, AuditorConfig, StateAuditor
 from repro.sim.eventlog import ControlEventLog
 from repro.sim.testbed import Testbed, WorkloadSpec
 from repro.telemetry import MetricsRegistry, Telemetry
@@ -83,6 +85,10 @@ class ExperimentConfig:
     #: Both backends produce byte-identical trajectories (see
     #: tests/test_backend_equivalence.py); the switch only changes speed.
     engine_backend: Optional[str] = None
+    #: online state-invariant auditor (None = off). The auditor observes
+    #: only -- enabling it at any sampling rate leaves trajectories
+    #: byte-identical (see tests/test_auditor.py).
+    auditor: Optional[AuditorConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -166,6 +172,8 @@ class ExperimentResult:
     #: facility-level power vs the summed group budgets (additive field;
     #: None only for results deserialized from older payloads)
     facility: Optional[FacilitySummary] = None
+    #: what the online auditor saw (None when the auditor was off)
+    audit_stats: Optional[AuditStats] = None
 
     def violations(self) -> dict:
         return {
@@ -305,14 +313,29 @@ class ControlledExperiment:
                     event_log=self.event_log,
                     telemetry=self.telemetry,
                 )
+        # The online auditor is built here (not lazily) so a durable
+        # snapshot carries it like every other component.
+        self.auditor: Optional[StateAuditor] = None
+        if config.auditor is not None:
+            self.auditor = self.build_auditor(config.auditor)
+        self._started = False
         self._ran = False
 
     # ------------------------------------------------------------------
-    def run(self) -> ExperimentResult:
-        """Execute the experiment and return measured outcomes."""
-        if self._ran:
-            raise RuntimeError("experiment already ran; build a new instance")
-        self._ran = True
+    # Staged execution: start() arms everything, advance() moves simulated
+    # time, finish() collects. run() composes the three; the split exists
+    # so a run can be snapshotted at any advance() boundary and resumed
+    # byte-identically (see repro.durability).
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm workload, monitoring, control and safety services.
+
+        Consumes no simulated time; call :meth:`advance` to move the
+        clock. Idempotence is refused -- services must not double-arm.
+        """
+        if self._started:
+            raise RuntimeError("experiment already started")
+        self._started = True
         config = self.config
         end = config.end_seconds
         warmup = config.warmup_seconds
@@ -338,11 +361,117 @@ class ControlledExperiment:
             self.capping.start(end, first_at=warmup)
         if self.breaker is not None:
             self.breaker.start(end, first_at=warmup)
+        if self.auditor is not None:
+            self.auditor.start(end, first_at=warmup)
         if self.injector is not None:
             self.injector.arm(end)
-        self.testbed.engine.run(until=end)
 
-        return self._collect(warmup, end)
+    def advance(self, until: Optional[float] = None) -> None:
+        """Run simulated time forward to ``until`` (default: the horizon).
+
+        Consecutive calls compose exactly (events *at* the boundary stay
+        pending), so ``advance(T); advance(end)`` is byte-identical to
+        ``advance(end)`` -- the property snapshots rely on.
+        """
+        if not self._started:
+            self.start()
+        end = self.config.end_seconds
+        target = end if until is None else min(float(until), end)
+        self.testbed.engine.run(until=target)
+
+    def finish(self) -> ExperimentResult:
+        """Run any remaining simulated time and collect the outcomes."""
+        if self._ran:
+            raise RuntimeError("experiment already ran; build a new instance")
+        self.advance()
+        self._ran = True
+        return self._collect(self.config.warmup_seconds, self.config.end_seconds)
+
+    def run(self) -> ExperimentResult:
+        """Execute the experiment and return measured outcomes."""
+        if self._ran or self._started:
+            raise RuntimeError("experiment already ran; build a new instance")
+        self.start()
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Durable snapshots (see repro.durability for the frame format)
+    # ------------------------------------------------------------------
+    #: frame kind tag; restore() refuses frames of any other kind
+    SNAPSHOT_KIND = "experiment"
+
+    def _snapshot_meta(self) -> dict:
+        # Deterministic descriptors only -- no wall-clock -- so the same
+        # state always frames to the same bytes.
+        return {
+            "sim_now": self.testbed.engine.now,
+            "backend": self.testbed.engine_backend,
+            "n_servers": self.config.n_servers,
+            "seed": self.config.seed,
+            "started": self._started,
+        }
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete live run into a versioned frame.
+
+        Captures everything: cluster-state columns, RNG streams, the
+        event heap, controller/supervisor state and telemetry. Restoring
+        and running to the horizon is byte-identical to never having
+        stopped (proven in tests/test_durability.py, both backends,
+        under chaos). Must be called between :meth:`advance` calls, not
+        from inside an event callback.
+        """
+        if self.testbed.engine._running:
+            raise RuntimeError(
+                "cannot snapshot while the engine is running; snapshot "
+                "between advance() calls"
+            )
+        from repro.durability import encode_snapshot
+
+        return encode_snapshot(self, self.SNAPSHOT_KIND, self._snapshot_meta())
+
+    def save_snapshot(self, path: Union[str, Path]) -> int:
+        """Atomically write :meth:`snapshot` to ``path``; returns bytes."""
+        from repro.durability import atomic_write_bytes
+
+        frame = self.snapshot()
+        atomic_write_bytes(path, frame)
+        return len(frame)
+
+    @classmethod
+    def restore(cls, source: Union[bytes, str, Path]) -> "ControlledExperiment":
+        """Rebuild a live experiment from a snapshot (bytes or a path).
+
+        The result continues exactly where the original stood: call
+        :meth:`advance`/:meth:`finish` to complete the run.
+        """
+        from repro.durability import SnapshotError, decode_snapshot, read_snapshot
+
+        if isinstance(source, (bytes, bytearray)):
+            obj, _ = decode_snapshot(bytes(source), expected_kind=cls.SNAPSHOT_KIND)
+        else:
+            obj, _ = read_snapshot(source, expected_kind=cls.SNAPSHOT_KIND)
+        if not isinstance(obj, cls):
+            raise SnapshotError(
+                f"snapshot payload is {type(obj).__name__}, not {cls.__name__}"
+            )
+        return obj
+
+    # ------------------------------------------------------------------
+    def build_auditor(self, config: Optional[AuditorConfig] = None) -> StateAuditor:
+        """A :class:`StateAuditor` wired to this run's surfaces.
+
+        Used both for the in-run auditor (``config.auditor``) and by
+        ``repro verify-snapshot`` to audit a restored run on demand.
+        """
+        return StateAuditor(
+            self.testbed.engine,
+            state=self.testbed.state,
+            schedulers=[self.testbed.scheduler],
+            supervisors=[self.safety] if self.safety is not None else [],
+            config=config if config is not None else AuditorConfig(),
+            telemetry=self.telemetry,
+        )
 
     # ------------------------------------------------------------------
     def _collect(self, warmup: float, end: float) -> ExperimentResult:
@@ -382,6 +511,9 @@ class ControlledExperiment:
             ),
             telemetry=self.telemetry.registry if self.telemetry.enabled else None,
             facility=facility,
+            audit_stats=(
+                self.auditor.stats_snapshot() if self.auditor is not None else None
+            ),
         )
 
     def _collect_group(

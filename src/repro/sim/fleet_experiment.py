@@ -31,7 +31,8 @@ to exactly one controller/scheduler).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +59,7 @@ from repro.monitor.power_monitor import PowerMonitor
 from repro.monitor.tsdb import TimeSeriesDatabase
 from repro.scheduler.base import InstrumentedScheduler
 from repro.scheduler.omega import OmegaScheduler
+from repro.sim.audit import AuditStats, AuditorConfig, StateAuditor
 from repro.sim.engine import Engine
 from repro.sim.eventlog import ControlEventLog
 from repro.sim.testbed import (
@@ -112,6 +114,9 @@ class FleetExperimentConfig:
     #: hot-loop engine backend ("object"/"vectorized"/None = process
     #: default); trajectories are byte-identical across backends
     engine_backend: Optional[str] = None
+    #: online state-invariant auditor (None = off); fleet runs audit the
+    #: budget ledger in addition to the single-row checks
+    auditor: Optional[AuditorConfig] = None
 
     def __post_init__(self) -> None:
         if not self.rows:
@@ -175,6 +180,8 @@ class FleetResult:
     fault_stats: Optional[FaultStats] = None
     breaker_stats: Dict[str, BreakerStats] = field(default_factory=dict)
     telemetry: Optional[MetricsRegistry] = None
+    #: what the online auditor saw (None when the auditor was off)
+    audit_stats: Optional[AuditStats] = None
 
     @property
     def total_throughput(self) -> int:
@@ -347,14 +354,21 @@ class FleetExperiment:
             )
             if self.injector is not None:
                 self.injector.attach_coordinator(self.coordinator)
+        self.auditor: Optional[StateAuditor] = None
+        if config.auditor is not None:
+            self.auditor = self.build_auditor(config.auditor)
+        self._started = False
         self._ran = False
 
     # ------------------------------------------------------------------
-    def run(self) -> FleetResult:
-        """Execute the fleet experiment and return measured outcomes."""
-        if self._ran:
-            raise RuntimeError("experiment already ran; build a new instance")
-        self._ran = True
+    # Staged execution (mirrors ControlledExperiment: start/advance/finish
+    # compose into run(), and any advance() boundary is snapshotable).
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm workload, monitoring, control and safety services."""
+        if self._started:
+            raise RuntimeError("experiment already started")
+        self._started = True
         config = self.config
         end = config.end_seconds
         warmup = config.warmup_seconds
@@ -387,6 +401,8 @@ class FleetExperiment:
             breaker.start(end, first_at=warmup)
         for supervisor in self.supervisors.values():
             supervisor.start(end, first_at=warmup)
+        if self.auditor is not None:
+            self.auditor.start(end, first_at=warmup)
         if self.coordinator is not None:
             # First tick one full cadence after control begins, so the
             # demand window has data before the first reallocation.
@@ -397,8 +413,90 @@ class FleetExperiment:
             )
         if self.injector is not None:
             self.injector.arm(end)
-        self.engine.run(until=end)
-        return self._collect(warmup, end)
+
+    def advance(self, until: Optional[float] = None) -> None:
+        """Run simulated time forward to ``until`` (default: the horizon)."""
+        if not self._started:
+            self.start()
+        end = self.config.end_seconds
+        target = end if until is None else min(float(until), end)
+        self.engine.run(until=target)
+
+    def finish(self) -> FleetResult:
+        """Run any remaining simulated time and collect the outcomes."""
+        if self._ran:
+            raise RuntimeError("experiment already ran; build a new instance")
+        self.advance()
+        self._ran = True
+        return self._collect(self.config.warmup_seconds, self.config.end_seconds)
+
+    def run(self) -> FleetResult:
+        """Execute the fleet experiment and return measured outcomes."""
+        if self._ran or self._started:
+            raise RuntimeError("experiment already ran; build a new instance")
+        self.start()
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Durable snapshots (see repro.durability for the frame format)
+    # ------------------------------------------------------------------
+    SNAPSHOT_KIND = "fleet"
+
+    def _snapshot_meta(self) -> dict:
+        return {
+            "sim_now": self.engine.now,
+            "backend": self.state.backend,
+            "n_rows": len(self.rows),
+            "seed": self.config.seed,
+            "started": self._started,
+        }
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete live fleet run into a versioned frame."""
+        if self.engine._running:
+            raise RuntimeError(
+                "cannot snapshot while the engine is running; snapshot "
+                "between advance() calls"
+            )
+        from repro.durability import encode_snapshot
+
+        return encode_snapshot(self, self.SNAPSHOT_KIND, self._snapshot_meta())
+
+    def save_snapshot(self, path: Union[str, Path]) -> int:
+        """Atomically write :meth:`snapshot` to ``path``; returns bytes."""
+        from repro.durability import atomic_write_bytes
+
+        frame = self.snapshot()
+        atomic_write_bytes(path, frame)
+        return len(frame)
+
+    @classmethod
+    def restore(cls, source: Union[bytes, str, Path]) -> "FleetExperiment":
+        """Rebuild a live fleet experiment from a snapshot."""
+        from repro.durability import SnapshotError, decode_snapshot, read_snapshot
+
+        if isinstance(source, (bytes, bytearray)):
+            obj, _ = decode_snapshot(bytes(source), expected_kind=cls.SNAPSHOT_KIND)
+        else:
+            obj, _ = read_snapshot(source, expected_kind=cls.SNAPSHOT_KIND)
+        if not isinstance(obj, cls):
+            raise SnapshotError(
+                f"snapshot payload is {type(obj).__name__}, not {cls.__name__}"
+            )
+        return obj
+
+    # ------------------------------------------------------------------
+    def build_auditor(self, config: Optional[AuditorConfig] = None) -> StateAuditor:
+        """A :class:`StateAuditor` wired to every fleet surface."""
+        return StateAuditor(
+            self.engine,
+            state=self.state,
+            schedulers=list(self.schedulers),
+            ledger=self.ledger,
+            supervisors=[self.supervisors[name] for name in sorted(self.supervisors)],
+            config=config if config is not None else AuditorConfig(),
+            telemetry=self.telemetry,
+        )
 
     # ------------------------------------------------------------------
     def _collect(self, warmup: float, end: float) -> FleetResult:
@@ -462,6 +560,9 @@ class FleetExperiment:
             ),
             breaker_stats=breaker_stats,
             telemetry=self.telemetry.registry if self.telemetry.enabled else None,
+            audit_stats=(
+                self.auditor.stats_snapshot() if self.auditor is not None else None
+            ),
         )
 
 

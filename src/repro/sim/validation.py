@@ -1,11 +1,20 @@
-"""Validation of the controlled-experiment design (Section 4.1.2).
+"""Validation of the harness: experiment design and live state.
 
-Before trusting any A/B result, the paper validates that the parity split
-produces statistically identical groups: with Ampere off, over five days
-the groups' mean power differs by less than 0.46% and their power series
-correlate at 0.946. This module reproduces that validation as a reusable
-check -- run it whenever the workload model or scheduler policy changes,
-because every experimental claim in the evaluation rests on it.
+Two layers of self-checking live behind this module:
+
+- **Design validation** (Section 4.1.2): before trusting any A/B result,
+  the paper validates that the parity split produces statistically
+  identical groups -- with Ampere off, over five days the groups' mean
+  power differs by less than 0.46% and their power series correlate at
+  0.946. :func:`validate_group_similarity` reproduces that as a reusable
+  check; run it whenever the workload model or scheduler policy changes.
+- **State validation**: the online invariant auditor
+  (:class:`~repro.sim.audit.StateAuditor`, re-exported here) verifies at
+  run time that the live simulation state is internally consistent --
+  ledger conservation, power-cache coherence, mask consistency, numeric
+  sanity, event-queue monotonicity. Design validation says the harness
+  *measures* fairly; state validation says it hasn't silently corrupted
+  what it is measuring.
 """
 
 from __future__ import annotations
@@ -14,6 +23,13 @@ from dataclasses import dataclass
 
 
 from repro.analysis.stats import pearson_correlation
+from repro.sim.audit import (
+    ALL_CHECKS,
+    AuditStats,
+    AuditorConfig,
+    InvariantViolation,
+    StateAuditor,
+)
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 
@@ -75,4 +91,12 @@ def validate_group_similarity(
     )
 
 
-__all__ = ["GroupSimilarityReport", "validate_group_similarity"]
+__all__ = [
+    "ALL_CHECKS",
+    "AuditStats",
+    "AuditorConfig",
+    "GroupSimilarityReport",
+    "InvariantViolation",
+    "StateAuditor",
+    "validate_group_similarity",
+]

@@ -112,6 +112,14 @@ class Telemetry:
     def bind_sim_clock(self, clock: Callable[[], float]) -> None:
         self.tracer.bind_sim_clock(clock)
 
+    def __reduce__(self):
+        # The disabled instance is a process-wide singleton; components
+        # test identity-free `enabled` flags but sharing one no-op object
+        # keeps restored snapshots structurally identical to fresh runs.
+        if not self.enabled:
+            return (Telemetry.disabled, ())
+        return (Telemetry, (True, self.registry, self.tracer))
+
 
 _DISABLED = Telemetry(False, None, NullTracer())
 

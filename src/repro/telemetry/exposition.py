@@ -14,6 +14,7 @@ import math
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
+from repro.durability.atomic import atomic_write_text
 from repro.telemetry.registry import (
     COUNTER,
     GAUGE,
@@ -102,7 +103,7 @@ def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
 
 
 def save_snapshot(registry: MetricsRegistry, path: Union[str, Path]) -> None:
-    Path(path).write_text(render_json(registry) + "\n")
+    atomic_write_text(path, render_json(registry) + "\n")
 
 
 def registry_from_snapshot(doc: Dict[str, Any]) -> MetricsRegistry:

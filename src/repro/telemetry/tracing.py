@@ -27,6 +27,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 
+def _zero_clock() -> float:
+    """Default sim clock before an engine binds itself (picklable)."""
+    return 0.0
+
+
 @dataclass
 class SpanRecord:
     """One finished (or still-open) span."""
@@ -138,7 +143,7 @@ class Tracer:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._wall_clock = wall_clock
-        self._sim_clock: Callable[[], float] = sim_clock or (lambda: 0.0)
+        self._sim_clock: Callable[[], float] = sim_clock or _zero_clock
         self._ring: Deque[SpanRecord] = deque(maxlen=capacity)
         self._stack: List[SpanRecord] = []
         self._next_id = 1

@@ -12,10 +12,12 @@ scheduler's own randomness no longer perturbs the workload.
 from __future__ import annotations
 
 import csv
+import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, List, Optional, Union
 
+from repro.durability.atomic import atomic_write_text
 from repro.sim.engine import Engine
 from repro.sim.events import EventPriority
 from repro.workload.job import Job
@@ -86,29 +88,30 @@ class TraceRecorder:
 def write_job_trace(
     records: Iterable[JobTraceRecord], path: Union[str, Path]
 ) -> int:
-    """Write records as CSV; returns the number of rows written."""
+    """Write records as CSV (atomically); returns the number of rows."""
     count = 0
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(_HEADER)
-        for record in records:
-            rows = (
-                ""
-                if record.allowed_rows is None
-                else ";".join(str(r) for r in sorted(record.allowed_rows))
-            )
-            writer.writerow(
-                [
-                    repr(record.arrival_time),
-                    record.job_id,
-                    repr(record.work_seconds),
-                    repr(record.cores),
-                    repr(record.memory_gb),
-                    record.product,
-                    rows,
-                ]
-            )
-            count += 1
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_HEADER)
+    for record in records:
+        rows = (
+            ""
+            if record.allowed_rows is None
+            else ";".join(str(r) for r in sorted(record.allowed_rows))
+        )
+        writer.writerow(
+            [
+                repr(record.arrival_time),
+                record.job_id,
+                repr(record.work_seconds),
+                repr(record.cores),
+                repr(record.memory_gb),
+                record.product,
+                rows,
+            ]
+        )
+        count += 1
+    atomic_write_text(path, buffer.getvalue())
     return count
 
 

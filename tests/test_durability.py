@@ -1,0 +1,376 @@
+"""Durable snapshots and crash-consistent writes (``repro.durability``).
+
+The headline contract: a simulation snapshotted at time T and restored
+in a fresh process finishes with a result **byte-identical** to the
+uninterrupted run -- on either engine backend, with chaos injected, for
+both the single-row and fleet harnesses. Below it, the snapshot frame
+(magic/version/checksum) rejects every corrupted input with a
+structured error, and the atomic write helper never leaves torn files
+or stray temporaries. Campaign checkpoint directories get the same
+treatment at cell granularity.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.serialize import result_to_dict
+from repro.core.safety import SafetyConfig
+from repro.durability import (
+    SnapshotError,
+    atomic_write_bytes,
+    atomic_write_text,
+    decode_snapshot,
+    encode_snapshot,
+    read_header,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.faults.scenario import builtin_scenarios
+from repro.fleet.config import FleetConfig
+from repro.sim.campaign import Campaign
+from repro.sim.checkpoint import CampaignCheckpoint, CheckpointError
+from repro.sim.experiment import ControlledExperiment, ExperimentConfig
+from repro.sim.fleet_experiment import (
+    FleetExperiment,
+    FleetExperimentConfig,
+    FleetRowSpec,
+)
+from repro.sim.testbed import WorkloadSpec
+
+BACKENDS = ("object", "vectorized")
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        n_servers=40,
+        duration_hours=1.0,
+        warmup_hours=0.25,
+        workload=WorkloadSpec.typical(),
+        capping_enabled=True,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def tiny_fleet_config(**overrides) -> FleetExperimentConfig:
+    defaults = dict(
+        rows=(
+            FleetRowSpec(
+                n_servers=40,
+                workload=WorkloadSpec(target_utilization=0.40),
+            ),
+            FleetRowSpec(
+                n_servers=40,
+                workload=WorkloadSpec(target_utilization=0.06),
+            ),
+        ),
+        duration_hours=1.0,
+        warmup_hours=0.25,
+        over_provision_ratio=0.25,
+        fleet=FleetConfig(policy="demand-following"),
+        safety=SafetyConfig(),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return FleetExperimentConfig(**defaults)
+
+
+def result_json_without_config(result) -> str:
+    """Canonical result document minus the config (which differs when
+    only the auditor/backend knobs change, not the trajectory)."""
+    doc = result_to_dict(result)
+    doc.pop("config")
+    return json.dumps(doc, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Frame format
+# ---------------------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    payload = {"rows": [1, 2, 3], "label": "x"}
+    data = encode_snapshot(payload, "experiment", {"seed": 7})
+    obj, header = decode_snapshot(data, "experiment")
+    assert obj == payload
+    assert header["kind"] == "experiment"
+    assert header["meta"] == {"seed": 7}
+
+
+def test_frame_header_is_readable_without_payload(tmp_path):
+    path = tmp_path / "x.snap"
+    write_snapshot(path, {"a": 1}, "fleet", {"sim_now": 60.0, "seed": 3})
+    header = read_header(path)
+    assert header["kind"] == "fleet"
+    assert header["meta"] == {"sim_now": 60.0, "seed": 3}
+
+
+def test_frame_rejects_wrong_magic():
+    with pytest.raises(SnapshotError, match="not a snapshot"):
+        decode_snapshot(b'{"magic": "other", "version": 1}\nxx', "experiment")
+
+
+def test_frame_rejects_future_version():
+    data = encode_snapshot([1], "experiment", {})
+    header, _, rest = data.partition(b"\n")
+    doc = json.loads(header)
+    doc["version"] = 99
+    with pytest.raises(SnapshotError, match="version"):
+        decode_snapshot(
+            json.dumps(doc, sort_keys=True).encode() + b"\n" + rest, "experiment"
+        )
+
+
+def test_frame_rejects_kind_mismatch():
+    data = encode_snapshot([1], "fleet", {})
+    with pytest.raises(SnapshotError, match="kind"):
+        decode_snapshot(data, "experiment")
+
+
+def test_frame_rejects_corrupt_payload():
+    data = encode_snapshot({"a": 1}, "experiment", {})
+    corrupted = data[:-3] + bytes([data[-3] ^ 0xFF]) + data[-2:]
+    with pytest.raises(SnapshotError, match="checksum"):
+        decode_snapshot(corrupted, "experiment")
+
+
+def test_frame_rejects_truncation():
+    data = encode_snapshot({"a": list(range(100))}, "experiment", {})
+    with pytest.raises(SnapshotError):
+        decode_snapshot(data[:-10], "experiment")
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_write_creates_and_overwrites(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "first")
+    assert path.read_text() == "first"
+    atomic_write_text(path, "second")
+    assert path.read_text() == "second"
+    atomic_write_bytes(path, b"\x00\x01")
+    assert path.read_bytes() == b"\x00\x01"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_atomic_write_cleans_temp_on_failure(tmp_path, monkeypatch):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "keep me")
+
+    def broken_replace(src, dst):
+        raise OSError("disk detached")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(OSError, match="disk detached"):
+        atomic_write_text(path, "torn")
+    monkeypatch.undo()
+    # The target is untouched and no temporary litters the directory.
+    assert path.read_text() == "keep me"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot/restore: run-to-T-then-resume == uninterrupted
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_experiment_snapshot_resume_is_byte_identical(backend, tmp_path):
+    config = tiny_config(safety=SafetyConfig(), engine_backend=backend)
+    uninterrupted = ControlledExperiment(config).run()
+
+    experiment = ControlledExperiment(config)
+    experiment.start()
+    experiment.advance(1800.0)
+    path = tmp_path / "mid.snap"
+    experiment.save_snapshot(path)
+
+    resumed = ControlledExperiment.restore(path).finish()
+    assert result_json_without_config(resumed) == result_json_without_config(
+        uninterrupted
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_chaos_snapshot_resume_is_byte_identical(backend):
+    config = tiny_config(
+        duration_hours=1.5,
+        warmup_hours=1.0,  # builtin scenario times assume the 1 h warm-up
+        faults=builtin_scenarios()["data-chaos"],
+        safety=SafetyConfig(),
+        engine_backend=backend,
+    )
+    uninterrupted = ControlledExperiment(config).run()
+
+    experiment = ControlledExperiment(config)
+    experiment.start()
+    experiment.advance(4000.0)  # mid-chaos
+    resumed = ControlledExperiment.restore(experiment.snapshot()).finish()
+    assert result_json_without_config(resumed) == result_json_without_config(
+        uninterrupted
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fleet_snapshot_resume_is_byte_identical(backend, tmp_path):
+    from repro.analysis.serialize import fleet_result_to_dict
+
+    config = tiny_fleet_config(engine_backend=backend)
+    uninterrupted = FleetExperiment(config).run()
+
+    experiment = FleetExperiment(config)
+    experiment.start()
+    experiment.advance(1800.0)
+    path = tmp_path / "fleet.snap"
+    experiment.save_snapshot(path)
+    resumed = FleetExperiment.restore(path).finish()
+    assert json.dumps(fleet_result_to_dict(resumed), sort_keys=True) == json.dumps(
+        fleet_result_to_dict(uninterrupted), sort_keys=True
+    )
+
+
+def test_snapshot_header_describes_the_run(tmp_path):
+    experiment = ControlledExperiment(tiny_config())
+    experiment.start()
+    experiment.advance(900.0)
+    path = tmp_path / "x.snap"
+    experiment.save_snapshot(path)
+    header = read_header(path)
+    assert header["kind"] == "experiment"
+    assert header["meta"]["sim_now"] == 900.0
+    assert header["meta"]["n_servers"] == 40
+    assert header["meta"]["seed"] == 7
+
+
+def test_restore_rejects_wrong_kind(tmp_path):
+    experiment = FleetExperiment(tiny_fleet_config())
+    experiment.start()
+    path = tmp_path / "fleet.snap"
+    experiment.save_snapshot(path)
+    with pytest.raises(SnapshotError, match="kind"):
+        ControlledExperiment.restore(path)
+
+
+def test_restore_rejects_arbitrary_payload():
+    data = encode_snapshot({"not": "an experiment"}, "experiment", {})
+    with pytest.raises(SnapshotError):
+        ControlledExperiment.restore(data)
+
+
+def test_read_snapshot_round_trips_generic_payload(tmp_path):
+    path = tmp_path / "blob.snap"
+    write_snapshot(path, [1, 2, 3], "experiment", {})
+    obj, _ = read_snapshot(path, "experiment")
+    assert obj == [1, 2, 3]
+
+
+def test_finished_experiment_refuses_second_run():
+    experiment = ControlledExperiment(tiny_config())
+    experiment.run()
+    with pytest.raises(RuntimeError):
+        experiment.run()
+    with pytest.raises(RuntimeError):
+        experiment.finish()
+
+
+# ---------------------------------------------------------------------------
+# Campaign checkpoints
+# ---------------------------------------------------------------------------
+
+
+def tiny_campaign(**kwargs):
+    defaults = dict(
+        ratios=(0.17, 0.25),
+        workloads={
+            "low": WorkloadSpec(target_utilization=0.10, modulation_sigma=0.0)
+        },
+        seeds=(3,),
+        n_servers=40,
+        duration_hours=0.2,
+        warmup_hours=0.05,
+        telemetry=True,
+    )
+    defaults.update(kwargs)
+    return Campaign(**defaults)
+
+
+def campaign_csv_bytes(result, tmp_path, name) -> bytes:
+    path = tmp_path / name
+    result.save_csv(path)
+    return path.read_bytes()
+
+
+def test_checkpointed_campaign_resumes_byte_identical(tmp_path):
+    reference = campaign_csv_bytes(tiny_campaign().run(), tmp_path, "ref.csv")
+
+    directory = tmp_path / "ck"
+    full = tiny_campaign().run(checkpoint_dir=directory)
+    assert campaign_csv_bytes(full, tmp_path, "full.csv") == reference
+
+    # Simulate a crash after the first cell: drop later cell files.
+    for cell_file in sorted(directory.glob("cell_*.json"))[1:]:
+        cell_file.unlink()
+    fired = []
+    resumed = tiny_campaign().run(
+        checkpoint_dir=directory,
+        resume=True,
+        on_cell=lambda cell, row: fired.append(cell.label()),
+    )
+    assert campaign_csv_bytes(resumed, tmp_path, "resumed.csv") == reference
+    assert len(fired) == len(resumed.rows) - 1  # restored cells do not re-fire
+    # Telemetry registries revive from the checkpoint's embedded snapshots.
+    assert all(row.telemetry is not None for row in resumed.rows)
+
+
+def test_parallel_checkpointed_campaign_resumes_byte_identical(tmp_path):
+    reference = campaign_csv_bytes(tiny_campaign().run(), tmp_path, "ref.csv")
+    directory = tmp_path / "ck"
+    tiny_campaign().run(checkpoint_dir=directory)
+    for cell_file in sorted(directory.glob("cell_*.json"))[1:]:
+        cell_file.unlink()
+    resumed = tiny_campaign().run_parallel(
+        max_workers=2, checkpoint_dir=directory, resume=True
+    )
+    assert campaign_csv_bytes(resumed, tmp_path, "resumed.csv") == reference
+    assert len(list(directory.glob("cell_*.json"))) == len(resumed.rows)
+
+
+def test_checkpoint_refuses_unrelated_directory(tmp_path):
+    directory = tmp_path / "ck"
+    tiny_campaign().run(checkpoint_dir=directory)
+    # Same directory without --resume: refuse rather than clobber.
+    with pytest.raises(CheckpointError, match="already exists"):
+        tiny_campaign().run(checkpoint_dir=directory)
+    # Resume with a different grid: fingerprint mismatch.
+    with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+        tiny_campaign(ratios=(0.13,)).run(checkpoint_dir=directory, resume=True)
+
+
+def test_resume_on_empty_directory_starts_fresh(tmp_path):
+    directory = tmp_path / "ck"
+    result = tiny_campaign().run(checkpoint_dir=directory, resume=True)
+    assert all(row.ok for row in result.rows)
+    assert (directory / "manifest.json").exists()
+
+
+def test_resume_without_checkpoint_dir_is_an_error():
+    with pytest.raises(ValueError, match="checkpoint_dir"):
+        tiny_campaign().run(resume=True)
+
+
+def test_checkpoint_initialize_reports_completed_rows(tmp_path):
+    campaign = tiny_campaign()
+    directory = tmp_path / "ck"
+    campaign.run(checkpoint_dir=directory)
+    checkpoint = CampaignCheckpoint(directory)
+    completed = checkpoint.initialize(
+        campaign.cells, campaign.run_config, resume=True
+    )
+    assert sorted(completed) == list(range(len(campaign.cells)))
+    assert all(row.ok for row in completed.values())

@@ -73,6 +73,33 @@ def _fail_once_runner(cell: CampaignCell, config: CampaignRunConfig) -> Campaign
     return run_cell(cell, config)
 
 
+def _straggler_runner(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
+    """First attempt at the lowest seed stalls well past any cell_timeout;
+    the speculative duplicate (and every other cell) runs normally."""
+    marker = Path(os.environ[FAIL_DIR_ENV]) / "stalled-once"
+    if cell.seed == 3 and not marker.exists():
+        marker.touch()
+        time.sleep(8.0)
+    return run_cell(cell, config)
+
+
+def _backend_pinned_fail_once_runner(
+    cell: CampaignCell, config: CampaignRunConfig
+) -> CampaignRow:
+    """Transient failure plus the re-dispatch determinism contract: by the
+    time a worker sees the config, the engine backend must be pinned to a
+    concrete value (never None), so a retry on a worker with a different
+    environment cannot resolve to a different backend."""
+    assert config.engine_backend in ("object", "vectorized"), (
+        f"backend not pinned at the worker boundary: {config.engine_backend!r}"
+    )
+    marker = Path(os.environ[FAIL_DIR_ENV]) / f"seen-{cell.seed}-{cell.over_provision_ratio}"
+    if not marker.exists():
+        marker.touch()
+        raise OSError("transient failure")
+    return run_cell(cell, config)
+
+
 def _sleepy_dummy_runner(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
     """Finishes in *reverse* cell order (earlier seeds sleep longer), so
     completion order is shuffled relative to submission order."""
@@ -199,6 +226,74 @@ class TestFaultIsolation:
         assert result.mean_gtpw(0.17, "low") == pytest.approx(
             [r for r in rows if r.ok and r.cell.over_provision_ratio == 0.17][0].g_tpw
         )
+
+
+# ---------------------------------------------------------------------------
+# Hardening: straggler re-dispatch, retry determinism, backoff
+# ---------------------------------------------------------------------------
+
+
+class TestHardening:
+    def test_straggler_redispatch_is_byte_identical(self, tmp_path, monkeypatch):
+        """A stalled worker's chunk is speculatively re-dispatched and the
+        campaign finishes without waiting out the stall; the duplicate's
+        rows are byte-identical to the serial reference."""
+        monkeypatch.setenv(FAIL_DIR_ENV, str(tmp_path))
+        campaign = tiny_campaign(seeds=(3, 4))
+        started = time.monotonic()
+        rows = run_cells_parallel(
+            campaign.cells,
+            campaign.run_config,
+            max_workers=2,
+            cell_runner=_straggler_runner,
+            cell_timeout=1.0,
+        )
+        elapsed = time.monotonic() - started
+        assert (tmp_path / "stalled-once").exists(), "straggler never dispatched"
+        assert elapsed < 8.0, "campaign waited out the stalled worker"
+        reference = [run_cell(cell, campaign.run_config) for cell in campaign.cells]
+        assert [r.as_record() for r in rows] == [r.as_record() for r in reference]
+
+    def test_retry_redispatch_keeps_backend_pinned(self, tmp_path, monkeypatch):
+        """Regression: a retried cell must run under the same (resolved)
+        engine backend as its first dispatch and as the serial reference
+        -- the parent pins the backend into the shipped config."""
+        monkeypatch.setenv(FAIL_DIR_ENV, str(tmp_path))
+        campaign = tiny_campaign(seeds=(3,))
+        assert campaign.run_config.engine_backend is None  # parent resolves it
+        rows = run_cells_parallel(
+            campaign.cells,
+            campaign.run_config,
+            max_workers=2,
+            cell_runner=_backend_pinned_fail_once_runner,
+            retries=1,
+        )
+        assert all(r.ok for r in rows), [r.error for r in rows]
+        reference = [run_cell(cell, campaign.run_config) for cell in campaign.cells]
+        assert [r.as_record() for r in rows] == [r.as_record() for r in reference]
+
+    def test_retry_backoff_delays_resubmission(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAIL_DIR_ENV, str(tmp_path))
+        campaign = tiny_campaign(seeds=(3,))
+        started = time.monotonic()
+        rows = run_cells_parallel(
+            campaign.cells,
+            campaign.run_config,
+            max_workers=1,
+            cell_runner=_fail_once_runner,
+            retries=1,
+            retry_backoff=0.2,
+        )
+        assert all(r.ok for r in rows)
+        assert time.monotonic() - started >= 0.2
+
+    def test_invalid_hardening_arguments_rejected(self):
+        config = CampaignRunConfig()
+        cells = tiny_campaign().cells
+        with pytest.raises(ValueError):
+            run_cells_parallel(cells, config, cell_timeout=0.0)
+        with pytest.raises(ValueError):
+            run_cells_parallel(cells, config, retry_backoff=-1.0)
 
 
 # ---------------------------------------------------------------------------
