@@ -348,6 +348,97 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="also print the last N raw span records",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one experiment as a live service: REST API, SSE event "
+        "stream and HTML dashboard (repro.service)",
+    )
+    _add_common(serve)
+    serve.add_argument("--hours", type=float, default=2.0)
+    serve.add_argument(
+        "--warmup-hours",
+        type=float,
+        default=0.5,
+        help="warm-up before monitoring/control begin",
+    )
+    serve.add_argument("--ro", type=float, default=0.25, help="over-provision ratio")
+    serve.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="heavy"
+    )
+    serve.add_argument(
+        "--faults",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="build-time fault scenario (more can be armed via the API)",
+    )
+    serve.add_argument(
+        "--safety",
+        action="store_true",
+        help="arm the breaker model and the emergency safety ladder",
+    )
+    serve.add_argument(
+        "--capping", action="store_true", help="enable the DVFS capping net"
+    )
+    serve.add_argument(
+        "--audit",
+        action="store_true",
+        help="arm the online invariant auditor on the live run",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the metrics registry (empties /metrics; required "
+        "for byte-identity with the telemetry-free batch goldens)",
+    )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="serve a two-row fleet experiment (budget ledger + "
+        "coordinator) instead of the single-row A/B",
+    )
+    serve.add_argument(
+        "--fleet-policy",
+        choices=POLICY_NAMES,
+        default="demand-following",
+        help="reallocation policy of the served fleet run",
+    )
+    serve.add_argument(
+        "--golden",
+        action="store_true",
+        help="serve exactly the pinned golden-regression configuration "
+        "(80 servers, 2 h, seed 42, telemetry off); a --step-mode run "
+        "driven to the horizon matches tests/golden byte for byte",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 picks an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--step-mode",
+        action="store_true",
+        help="no wall-clock pacing: simulated time moves only on "
+        "POST /api/step (byte-identical to a batch run)",
+    )
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        default=60.0,
+        metavar="N",
+        help="simulated seconds per wall second (1 = real time); "
+        "ignored with --step-mode",
+    )
+    serve.add_argument(
+        "--final-snapshot",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a durable snapshot on SIGTERM/SIGINT before exiting "
+        "(verify it later with 'verify-snapshot')",
+    )
     return parser
 
 
@@ -797,7 +888,11 @@ def _run_telemetry_experiment(args: argparse.Namespace) -> ControlledExperiment:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.telemetry import render_prometheus, save_snapshot
+    from repro.telemetry import (
+        PROMETHEUS_CONTENT_TYPE,
+        render_prometheus,
+        save_snapshot,
+    )
 
     experiment = _run_telemetry_experiment(args)
     registry = experiment.telemetry.registry
@@ -805,7 +900,11 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     print(text, end="")
     if args.prom:
         atomic_write_text(args.prom, text)
-        print(f"# exposition written to {args.prom}", file=sys.stderr)
+        print(
+            f"# exposition written to {args.prom} "
+            f"(serve as {PROMETHEUS_CONTENT_TYPE!r})",
+            file=sys.stderr,
+        )
     if args.json:
         save_snapshot(registry, args.json)
         print(f"# snapshot written to {args.json}", file=sys.stderr)
@@ -854,46 +953,143 @@ def cmd_spans(args: argparse.Namespace) -> int:
 
 
 def cmd_verify_snapshot(args: argparse.Namespace) -> int:
-    from repro.durability import SnapshotError, read_header
+    from repro.sim.verify import verify_snapshot_file
+
+    report = verify_snapshot_file(
+        args.path, checks=tuple(args.checks) if args.checks else None
+    )
+    if report.error is not None:
+        print(f"error: {report.error}", file=sys.stderr)
+        return report.exit_code
+    described = "  ".join(
+        f"{k}={report.meta[k]}" for k in sorted(report.meta)
+    )
+    print(f"snapshot: kind={report.kind}  {described}")
+    for check, count in report.check_counts.items():
+        status = "ok" if count == 0 else f"{count} violation(s)"
+        print(f"  {check:<12s} {status}")
+        for vcheck, message in report.violations:
+            if vcheck == check:
+                print(f"    - {message}")
+    if report.violations:
+        print(f"FAILED: {len(report.violations)} invariant violation(s)")
+    else:
+        print("all invariants hold")
+    return report.exit_code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.core.safety import SafetyConfig
+    from repro.service import build_service
     from repro.sim.audit import AuditorConfig
 
-    try:
-        header = read_header(args.path)
-    except (OSError, SnapshotError) as exc:
-        print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
-        return 2
-    kind = header.get("kind")
-    try:
-        if kind == "experiment":
-            experiment = ControlledExperiment.restore(args.path)
-        elif kind == "fleet":
-            from repro.sim.fleet_experiment import FleetExperiment
+    if args.golden:
+        # The pinned regression configuration (tests/test_golden.py):
+        # a --step-mode run driven to the horizon via the API returns
+        # the golden result document byte for byte.
+        config = ExperimentConfig(
+            n_servers=80,
+            duration_hours=2.0,
+            warmup_hours=0.5,
+            over_provision_ratio=0.25,
+            workload=WorkloadSpec(
+                target_utilization=0.33, modulation_sigma=0.05
+            ),
+            seed=42,
+        )
+        experiment = ControlledExperiment(config)
+    elif args.fleet:
+        from repro.sim.fleet_experiment import (
+            FleetExperiment,
+            FleetExperimentConfig,
+            FleetRowSpec,
+        )
+        from repro.fleet.config import FleetConfig
 
-            experiment = FleetExperiment.restore(args.path)
-        else:
-            print(f"error: unknown snapshot kind {kind!r}", file=sys.stderr)
-            return 2
-    except SnapshotError as exc:
-        print(f"error: snapshot rejected: {exc}", file=sys.stderr)
-        return 2
-    meta = header.get("meta", {})
-    described = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
-    print(f"snapshot: kind={kind}  {described}")
-    checks = tuple(args.checks) if args.checks else AUDIT_CHECKS
-    auditor = experiment.build_auditor(
-        AuditorConfig(sample_fraction=1.0, on_violation="record", checks=checks)
+        fleet_config = FleetExperimentConfig(
+            rows=(
+                FleetRowSpec(
+                    n_servers=args.servers,
+                    workload=WorkloadSpec(
+                        target_utilization=0.40,
+                        bursts_per_day=4.0,
+                        burst_factor=1.3,
+                    ),
+                ),
+                FleetRowSpec(
+                    n_servers=args.servers,
+                    workload=WorkloadSpec(target_utilization=0.06),
+                ),
+            ),
+            duration_hours=args.hours,
+            warmup_hours=args.warmup_hours,
+            over_provision_ratio=args.ro,
+            fleet=FleetConfig(policy=args.fleet_policy),
+            seed=args.seed,
+            safety=SafetyConfig() if args.safety else None,
+            faults=SCENARIOS[args.faults] if args.faults else None,
+            telemetry_enabled=not args.no_telemetry,
+            auditor=AuditorConfig() if args.audit else None,
+        )
+        experiment = FleetExperiment(fleet_config)
+    else:
+        config = ExperimentConfig(
+            n_servers=args.servers,
+            duration_hours=args.hours,
+            warmup_hours=args.warmup_hours,
+            over_provision_ratio=args.ro,
+            workload=WORKLOADS[args.workload](),
+            capping_enabled=args.capping,
+            seed=args.seed,
+            faults=SCENARIOS[args.faults] if args.faults else None,
+            safety=SafetyConfig() if args.safety else None,
+            telemetry_enabled=not args.no_telemetry,
+            auditor=AuditorConfig() if args.audit else None,
+        )
+        experiment = ControlledExperiment(config)
+
+    mode = "manual" if args.step_mode else (
+        "realtime" if args.speedup == 1.0 else "accelerated"
     )
-    violations = auditor.audit(sample=False)
-    for check in checks:
-        failures = [v for v in violations if v.check == check]
-        status = "ok" if not failures else f"{len(failures)} violation(s)"
-        print(f"  {check:<12s} {status}")
-        for violation in failures:
-            print(f"    - {violation.message}")
-    if violations:
-        print(f"FAILED: {len(violations)} invariant violation(s)")
-        return 1
-    print("all invariants hold")
+    service = build_service(
+        experiment,
+        mode=mode,
+        speedup=args.speedup,
+        host=args.host,
+        port=args.port,
+    )
+    service.start()
+    host, port = service.address
+    # One parseable line on stdout so headless harnesses (CI smoke) can
+    # discover an ephemeral port; everything else goes through logging.
+    print(f"serving on http://{host}:{port} (mode={mode})", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        print(f"received {signal.Signals(signum).name}, shutting down",
+              file=sys.stderr, flush=True)
+        stop.set()
+
+    # Handlers must be installed on the main thread; the HTTP and sim
+    # loops run on daemon threads, so the main thread just waits here.
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        written = service.stop(snapshot_path=args.final_snapshot)
+        if args.final_snapshot:
+            print(
+                f"final snapshot written to {args.final_snapshot} "
+                f"({written} bytes)",
+                file=sys.stderr,
+                flush=True,
+            )
     return 0
 
 
@@ -910,6 +1106,7 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "spans": cmd_spans,
     "verify-snapshot": cmd_verify_snapshot,
+    "serve": cmd_serve,
 }
 
 

@@ -206,6 +206,46 @@ class FaultScenario:
         """Whether the server crash/repair process must be armed."""
         return self.server_mtbf_hours > 0 or bool(self.crash_storms)
 
+    def shifted(self, offset_seconds: float) -> "FaultScenario":
+        """This scenario with every absolute time moved ``offset`` later.
+
+        Scenario times are absolute simulation seconds, authored against
+        a run that starts at t=0. Arming one against a *live* run (the
+        service's fault-injection endpoint) reinterprets them as
+        relative to "now": ``scenario.shifted(engine.now)`` keeps the
+        schedule's internal spacing while anchoring its origin at the
+        moment the operator armed it.
+        """
+        if offset_seconds < 0:
+            raise ValueError(
+                f"offset_seconds must be non-negative, got {offset_seconds}"
+            )
+        if offset_seconds == 0:
+            return self
+        off = float(offset_seconds)
+        return FaultScenario(
+            name=self.name,
+            blackouts=tuple((s + off, d) for s, d in self.blackouts),
+            rpc_failure_rate=self.rpc_failure_rate,
+            rpc_latency_seconds=self.rpc_latency_seconds,
+            rpc_timeout_seconds=self.rpc_timeout_seconds,
+            crash_times=tuple(t + off for t in self.crash_times),
+            restart_delay_seconds=self.restart_delay_seconds,
+            surges=tuple((s + off, d, f) for s, d, f in self.surges),
+            sensor_bias=tuple(
+                (s + off, d, f) for s, d, f in self.sensor_bias
+            ),
+            server_mtbf_hours=self.server_mtbf_hours,
+            server_mttr_minutes=self.server_mttr_minutes,
+            crash_storms=tuple(
+                (s + off, d, m) for s, d, m in self.crash_storms
+            ),
+            coordinator_blackouts=tuple(
+                (s + off, d) for s, d in self.coordinator_blackouts
+            ),
+            seed=self.seed,
+        )
+
     def describe(self) -> str:
         parts = []
         if self.blackouts:

@@ -1,0 +1,137 @@
+"""repro.service: the live control-plane service over a staged run.
+
+The batch harnesses answer "what happened"; this package answers "what
+is happening" -- it runs a :class:`~repro.sim.experiment.ControlledExperiment`
+or :class:`~repro.sim.fleet_experiment.FleetExperiment` as a long-lived
+process and exposes observe/act surfaces over HTTP, stdlib-only.
+
+Layers, bottom up:
+
+- :mod:`repro.service.harness` -- one adapter shape over both staged
+  experiment kinds (groups, controllers, breakers, ledger, eventlog).
+- :mod:`repro.service.driver` -- the single-writer simulation thread
+  with its command queue; real, accelerated and manual-step pacing.
+- :mod:`repro.service.views` -- observe-side JSON documents (NaN-safe).
+- :mod:`repro.service.app` -- validated act operations (freeze, budget
+  reallocation, fault arming, snapshot/verify) and observe dispatch.
+- :mod:`repro.service.api` -- ThreadingHTTPServer routing, SSE bridge,
+  the Prometheus endpoint.
+- :mod:`repro.service.dashboard` -- the zero-dependency HTML operator
+  console served at ``/``.
+
+Manual-step mode issues exactly the batch ``advance()`` sequence, so a
+service-driven run is byte-identical to ``run()`` -- pinned in
+tests/test_service.py on both engine backends.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Optional
+
+from repro.service.api import ServiceHTTPServer, make_server
+from repro.service.app import ServiceApp, ServiceError
+from repro.service.driver import DriverError, EventBus, RealTimeDriver
+from repro.service.harness import (
+    ExperimentHarness,
+    FleetHarness,
+    HarnessError,
+    SingleRowHarness,
+    harness_for,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class ServiceHandle:
+    """One wired service instance: harness + driver + app + HTTP server.
+
+    The single entry point the CLI and the tests share, so both always
+    exercise the same wiring. ``start()`` launches the sim thread and
+    the HTTP accept loop; ``stop()`` tears both down in the only safe
+    order (stop accepting, write the final snapshot from the sim
+    thread, stop the sim thread, close sockets).
+    """
+
+    def __init__(self, harness: ExperimentHarness, driver: RealTimeDriver,
+                 app: ServiceApp, httpd: ServiceHTTPServer) -> None:
+        self.harness = harness
+        self.driver = driver
+        self.app = app
+        self.httpd = httpd
+        self._http_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` (resolves ephemeral port 0)."""
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        self.driver.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        logger.info("service listening on %s", self.url)
+
+    def stop(self, snapshot_path: Optional[str] = None) -> Optional[int]:
+        """Graceful teardown; returns final snapshot size when written."""
+        self.httpd.shutting_down.set()
+        written = self.driver.shutdown(snapshot_path=snapshot_path)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10.0)
+        return written
+
+    def __enter__(self) -> "ServiceHandle":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def build_service(
+    experiment,
+    mode: str = "manual",
+    speedup: float = 60.0,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    slice_seconds: float = 60.0,
+) -> ServiceHandle:
+    """Wire a staged experiment into a ready-to-start service."""
+    harness = harness_for(experiment)
+    driver = RealTimeDriver(
+        harness, mode=mode, speedup=speedup, slice_seconds=slice_seconds
+    )
+    app = ServiceApp(harness, driver)
+    httpd = make_server(app, host=host, port=port)
+    return ServiceHandle(harness, driver, app, httpd)
+
+
+__all__ = [
+    "DriverError",
+    "EventBus",
+    "ExperimentHarness",
+    "FleetHarness",
+    "HarnessError",
+    "RealTimeDriver",
+    "ServiceApp",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceHandle",
+    "SingleRowHarness",
+    "build_service",
+    "harness_for",
+    "make_server",
+]

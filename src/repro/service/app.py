@@ -1,0 +1,319 @@
+"""ServiceApp: the operations the REST API exposes, driver-mediated.
+
+One layer below the HTTP handler and one above the driver: every public
+method validates its inputs, then submits a closure to the
+:class:`~repro.service.driver.RealTimeDriver` so it executes on the
+simulation thread. The HTTP layer never touches experiment state
+directly, and the closures here are the *only* mutation paths besides
+the driver's own pacing.
+
+Raises :class:`ServiceError` with an HTTP-ish status code for every
+anticipated failure (unknown group, fleet-only operation on a
+single-row run, invalid budgets) so the handler can map errors without
+pattern-matching message strings.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Optional, Sequence
+
+from repro.faults.scenario import FaultScenario, builtin_scenarios
+from repro.service import views
+from repro.service.driver import DriverError, RealTimeDriver
+from repro.service.harness import ExperimentHarness, HarnessError
+
+logger = logging.getLogger(__name__)
+
+#: eventlog actor id for operator actions issued through the API (the
+#: breaker is -1, the fleet coordinator -2)
+OPERATOR_EVENT_ID = -3
+
+
+class ServiceError(RuntimeError):
+    """An API operation failed in an anticipated way."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceApp:
+    """Everything the REST API can observe and do, in one place."""
+
+    def __init__(self, harness: ExperimentHarness,
+                 driver: RealTimeDriver) -> None:
+        self.harness = harness
+        self.driver = driver
+
+    # ------------------------------------------------------------------
+    # Observe (read-only commands)
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        return self.driver.status()
+
+    def config(self) -> dict:
+        return self.driver.read(
+            lambda: views.config_doc(self.harness), label="config"
+        )
+
+    def state(self) -> dict:
+        return self.driver.read(
+            lambda: views.state_doc(self.harness), label="state"
+        )
+
+    def group(self, name: str) -> dict:
+        doc = self.driver.read(
+            lambda: views.group_doc(self.harness, name), label="group"
+        )
+        if doc is None:
+            raise ServiceError(404, f"unknown group {name!r}")
+        return doc
+
+    def controllers(self) -> dict:
+        return self.driver.read(
+            lambda: views.controllers_doc(self.harness), label="controllers"
+        )
+
+    def ledger(self) -> dict:
+        doc = self.driver.read(
+            lambda: views.ledger_doc(self.harness), label="ledger"
+        )
+        if doc is None:
+            raise ServiceError(
+                404, "no budget ledger: this is a single-row run"
+            )
+        return doc
+
+    def events(self, limit: int = 100, kind: Optional[str] = None) -> dict:
+        return self.driver.read(
+            lambda: views.events_doc(self.harness, limit=limit, kind=kind),
+            label="events",
+        )
+
+    def series(self, window_seconds: float = 3600.0) -> dict:
+        return self.driver.read(
+            lambda: views.series_doc(self.harness, window_seconds),
+            label="series",
+        )
+
+    def safety(self) -> dict:
+        return self.driver.read(
+            lambda: views.safety_doc(self.harness), label="safety"
+        )
+
+    def faults(self) -> dict:
+        return self.driver.read(
+            lambda: views.faults_doc(self.harness), label="faults"
+        )
+
+    def audit(self) -> dict:
+        return self.driver.read(
+            lambda: views.audit_doc(self.harness), label="audit"
+        )
+
+    def result(self) -> dict:
+        doc = self.driver.result_doc
+        if doc is None:
+            raise ServiceError(404, "experiment has not finished yet")
+        return views.jsonsafe(doc)
+
+    def metrics_text(self) -> str:
+        """The telemetry registry in Prometheus text format."""
+        from repro.telemetry import render_prometheus
+
+        return self.driver.read(
+            lambda: render_prometheus(self.harness.telemetry.registry),
+            label="metrics",
+        )
+
+    def scenarios(self) -> dict:
+        registry = builtin_scenarios()
+        return {
+            "scenarios": {
+                name: scenario.describe()
+                for name, scenario in sorted(registry.items())
+            }
+        }
+
+    # ------------------------------------------------------------------
+    # Act (mutating commands)
+    # ------------------------------------------------------------------
+    def pause(self) -> dict:
+        return self.driver.pause()
+
+    def resume(self) -> dict:
+        try:
+            return self.driver.resume()
+        except DriverError as exc:
+            raise ServiceError(409, str(exc)) from exc
+
+    def step(self, seconds: Optional[float] = None,
+             until: Optional[float] = None) -> dict:
+        try:
+            return self.driver.step(seconds=seconds, until=until)
+        except DriverError as exc:
+            raise ServiceError(409, str(exc)) from exc
+
+    def finish(self) -> dict:
+        try:
+            return self.driver.finish()
+        except DriverError as exc:
+            raise ServiceError(409, str(exc)) from exc
+
+    def freeze_group(self, name: str) -> dict:
+        return self._set_group_frozen(name, frozen=True)
+
+    def unfreeze_group(self, name: str) -> dict:
+        return self._set_group_frozen(name, frozen=False)
+
+    def _set_group_frozen(self, name: str, frozen: bool) -> dict:
+        def op():
+            groups = self.harness.groups()
+            if name not in groups:
+                raise ServiceError(404, f"unknown group {name!r}")
+            scheduler = self.harness.scheduler_for(name)
+            changed = 0
+            for server in groups[name].servers:
+                if server.failed or server.powered_off:
+                    continue
+                if frozen and not server.frozen:
+                    scheduler.freeze(server.server_id)
+                    changed += 1
+                elif not frozen and server.frozen:
+                    scheduler.unfreeze(server.server_id)
+                    changed += 1
+            return {
+                "group": name,
+                "action": "freeze" if frozen else "unfreeze",
+                "servers_changed": changed,
+                "sim_now": self.harness.engine.now,
+            }
+
+        return self.driver.act(op, label="freeze")
+
+    def set_budgets(self, allocations: Dict[str, float]) -> dict:
+        """Reallocate row budgets through the ledger (fleet runs only).
+
+        ``allocations`` may be partial; unmentioned rows keep their
+        current allocation. The ledger enforces conservation, floors and
+        feed ratings atomically -- an invalid division is rejected
+        wholesale with a 422 and nothing changes.
+        """
+        if not allocations:
+            raise ServiceError(400, "allocations must be a non-empty object")
+        try:
+            requested = {
+                str(name): float(watts)
+                for name, watts in allocations.items()
+            }
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                400, f"allocations must map row names to watts: {exc}"
+            ) from exc
+
+        def op():
+            from repro.fleet.ledger import LedgerError
+
+            ledger = self.harness.ledger
+            if ledger is None:
+                raise ServiceError(
+                    409, "no budget ledger: this is a single-row run"
+                )
+            merged = ledger.allocations()
+            unknown = sorted(set(requested) - set(merged))
+            if unknown:
+                raise ServiceError(404, f"unknown rows: {unknown}")
+            previous = dict(merged)
+            merged.update(requested)
+            try:
+                moved = ledger.apply(merged)
+            except LedgerError as exc:
+                raise ServiceError(422, f"ledger rejected: {exc}") from exc
+            controllers = self.harness.controllers()
+            changed = []
+            for row_name, watts in merged.items():
+                if watts == previous[row_name]:
+                    continue
+                controller = controllers.get(row_name)
+                if controller is not None:
+                    controller.update_budget(row_name, watts)
+                else:
+                    self.harness.groups()[row_name].power_budget_watts = watts
+                changed.append(
+                    f"{row_name}:{previous[row_name]:.0f}->{watts:.0f}"
+                )
+            self.harness.event_log.record(
+                "budget",
+                OPERATOR_EVENT_ID,
+                f"operator moved={moved:.0f}W " + " ".join(changed),
+            )
+            return {
+                "moved_watts": moved,
+                "changed": changed,
+                "allocations": merged,
+                "sim_now": self.harness.engine.now,
+            }
+
+        return views.jsonsafe(self.driver.act(op, label="budgets"))
+
+    def arm_faults(self, scenario: Optional[str] = None,
+                   spec: Optional[dict] = None) -> dict:
+        """Arm a builtin scenario by name, or an inline scenario spec.
+
+        Window times in the scenario are interpreted relative to *now*
+        (see :meth:`ExperimentHarness.arm_faults`).
+        """
+        if (scenario is None) == (spec is None):
+            raise ServiceError(
+                400, "provide exactly one of 'scenario' (name) or 'spec'"
+            )
+        if scenario is not None:
+            registry = builtin_scenarios()
+            if scenario not in registry:
+                raise ServiceError(
+                    404,
+                    f"unknown scenario {scenario!r}; "
+                    f"known: {sorted(registry)}",
+                )
+            built = registry[scenario]
+        else:
+            try:
+                built = FaultScenario(**spec)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, f"invalid scenario spec: {exc}") from exc
+
+        def op():
+            try:
+                return self.harness.arm_faults(built)
+            except HarnessError as exc:
+                raise ServiceError(409, str(exc)) from exc
+
+        return views.jsonsafe(self.driver.act(op, label="arm-faults"))
+
+    def snapshot(self, path: str) -> dict:
+        if not path:
+            raise ServiceError(400, "snapshot needs a 'path'")
+        try:
+            return views.jsonsafe(self.driver.snapshot(path))
+        except OSError as exc:
+            raise ServiceError(422, f"cannot write snapshot: {exc}") from exc
+
+    def verify_snapshot(self, path: str,
+                        checks: Optional[Sequence[str]] = None) -> dict:
+        """Restore-and-audit a durable frame (shared with the CLI).
+
+        Runs off the sim thread on purpose: verification restores a
+        *separate* experiment instance from disk and never touches the
+        live run, so hammering it cannot stall the simulation.
+        """
+        if not path:
+            raise ServiceError(400, "verify-snapshot needs a 'path'")
+        from repro.sim.verify import verify_snapshot_file
+
+        report = verify_snapshot_file(path, checks=checks)
+        return views.jsonsafe(report.to_dict())
+
+
+__all__ = ["OPERATOR_EVENT_ID", "ServiceApp", "ServiceError"]

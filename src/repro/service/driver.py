@@ -1,0 +1,501 @@
+"""The real-time driver: one simulation thread, one command queue.
+
+The batch harnesses promise byte-identical trajectories because exactly
+one call stack mutates the engine. A live service must keep that promise
+while an HTTP thread pool fields concurrent requests, so the driver
+enforces a **single-writer** discipline:
+
+- One background thread (the *sim thread*) owns the experiment. It is
+  the only code that ever calls ``advance()``, touches cluster state, or
+  reads live object graphs.
+- Every observation and every act -- including reads -- is a
+  :class:`_Command` posted to a queue and executed *on the sim thread*
+  between ``advance()`` slices. HTTP threads block on a completion
+  event and receive the result (or the raised exception). There are no
+  locks around simulation state because there is no second reader.
+
+Three pacing modes:
+
+``manual``
+    Simulated time moves only on explicit ``step`` commands. A
+    manual-step service run issues exactly the same ``advance()``
+    sequence a batch run would, so the trajectory is byte-identical to
+    ``ControlledExperiment.run()`` (pinned in tests/test_service.py).
+``realtime`` / ``accelerated``
+    The sim thread tracks wall clock: after each slice it sleeps (in the
+    command poll) until simulated time falls behind
+    ``anchor + (wall - wall_anchor) * speedup`` again. ``speedup=1`` is
+    real time; ``speedup=60`` plays one simulated hour per wall minute.
+
+Long advances are cut into ``slice_seconds`` pieces, and *read-only*
+commands are serviced between pieces, so observation latency stays
+bounded by one slice even while a large step is in flight. Mutating
+commands that arrive mid-advance are deferred, in order, to the next
+slice boundary after the advance completes -- an act never lands inside
+an ``advance()`` call, which is also what keeps every boundary
+
+snapshot-safe.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.service.harness import ExperimentHarness
+
+logger = logging.getLogger(__name__)
+
+#: default sim-seconds advanced per slice (one monitor sweep)
+DEFAULT_SLICE_SECONDS = 60.0
+#: default command-queue poll period for timed modes, in wall seconds
+DEFAULT_POLL_SECONDS = 0.02
+
+MODES = ("manual", "realtime", "accelerated")
+
+
+class DriverError(RuntimeError):
+    """A driver command could not be executed."""
+
+
+class _Command:
+    """One closure to run on the sim thread, with a completion event."""
+
+    __slots__ = ("fn", "readonly", "label", "done", "result", "error")
+
+    def __init__(self, fn: Callable[[], object], readonly: bool, label: str):
+        self.fn = fn
+        self.readonly = readonly
+        self.label = label
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self.result = self.fn()
+        except BaseException as exc:  # delivered to the waiting caller
+            self.error = exc
+        finally:
+            self.done.set()
+
+    def wait(self, timeout: Optional[float]):
+        if not self.done.wait(timeout):
+            raise DriverError(f"command {self.label!r} timed out")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class EventBus:
+    """Fan-out of driver/engine events to SSE subscribers.
+
+    Publishing never blocks the sim thread: a subscriber whose queue is
+    full loses the event (counted, and visible in the status document)
+    rather than stalling the simulation.
+    """
+
+    def __init__(self, maxsize: int = 1000) -> None:
+        self._subscribers: List[queue.Queue] = []
+        self._lock = threading.Lock()
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(self) -> queue.Queue:
+        q: queue.Queue = queue.Queue(maxsize=1000)
+        with self._lock:
+            self._subscribers.append(q)
+        return q
+
+    def unsubscribe(self, q: queue.Queue) -> None:
+        with self._lock:
+            if q in self._subscribers:
+                self._subscribers.remove(q)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def publish(self, doc: dict) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        self.published += 1
+        for q in subscribers:
+            try:
+                q.put_nowait(doc)
+            except queue.Full:
+                self.dropped += 1
+
+
+class RealTimeDriver:
+    """Ticks one staged experiment on a dedicated simulation thread."""
+
+    def __init__(
+        self,
+        harness: ExperimentHarness,
+        mode: str = "manual",
+        speedup: float = 1.0,
+        slice_seconds: float = DEFAULT_SLICE_SECONDS,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        if slice_seconds <= 0:
+            raise ValueError(
+                f"slice_seconds must be positive, got {slice_seconds}"
+            )
+        if mode == "realtime":
+            speedup = 1.0
+        self.harness = harness
+        self.mode = mode
+        self.speedup = float(speedup)
+        self.slice_seconds = float(slice_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.clock = clock
+        self.bus = EventBus()
+
+        self._queue: "queue.Queue[_Command]" = queue.Queue()
+        self._deferred: List[_Command] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-sim-driver", daemon=True
+        )
+        # --- state owned by the sim thread --------------------------------
+        self._paused = mode == "manual"
+        self._advancing = False
+        self._anchor_wall: Optional[float] = None
+        self._anchor_sim = 0.0
+        self._result = None
+        self._result_doc: Optional[dict] = None
+        self._fatal: Optional[str] = None
+        self._published_events = 0
+        self._steps = 0
+        self._commands_run = 0
+        self._wall_started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called from the main / HTTP threads)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the sim thread; it arms the experiment immediately."""
+        if self._thread.is_alive():
+            raise DriverError("driver already started")
+        self._wall_started = self.clock()
+        self._thread.start()
+        # Arm the experiment as the first command so construction errors
+        # surface here, synchronously, not on a later request.
+        self.act(self._do_start, label="start")
+
+    def shutdown(
+        self, snapshot_path: Optional[str] = None, timeout: float = 60.0
+    ) -> Optional[int]:
+        """Stop the sim thread, optionally writing a final snapshot.
+
+        The snapshot lands between advances (never mid-event), so it is
+        restorable and auditable like any other durable frame. Returns
+        the snapshot size in bytes when a path was given.
+        """
+        written: Optional[int] = None
+        if self._thread.is_alive():
+            def _final():
+                size = None
+                if snapshot_path is not None:
+                    size = self.harness.save_snapshot(snapshot_path)
+                    logger.info(
+                        "final snapshot written to %s (%d bytes)",
+                        snapshot_path,
+                        size,
+                    )
+                self._stop.set()
+                return size
+
+            written = self.act(_final, label="shutdown", timeout=timeout)
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise DriverError("sim thread did not stop in time")
+        return written
+
+    # ------------------------------------------------------------------
+    # Command submission (HTTP threads)
+    # ------------------------------------------------------------------
+    def read(self, fn: Callable[[], object], label: str = "read",
+             timeout: float = 30.0):
+        """Run a read-only closure on the sim thread; return its result."""
+        return self._submit(fn, readonly=True, label=label, timeout=timeout)
+
+    def act(self, fn: Callable[[], object], label: str = "act",
+            timeout: float = 300.0):
+        """Run a mutating closure on the sim thread; return its result."""
+        return self._submit(fn, readonly=False, label=label, timeout=timeout)
+
+    def _submit(self, fn, readonly: bool, label: str, timeout: float):
+        if not self._thread.is_alive():
+            raise DriverError("driver is not running")
+        command = _Command(fn, readonly, label)
+        self._queue.put(command)
+        return command.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Control commands
+    # ------------------------------------------------------------------
+    def pause(self) -> dict:
+        return self.act(self._do_pause, label="pause")
+
+    def resume(self) -> dict:
+        return self.act(self._do_resume, label="resume")
+
+    def step(self, seconds: Optional[float] = None,
+             until: Optional[float] = None) -> dict:
+        """Advance simulated time explicitly (any mode; re-anchors timed
+        modes so wall-clock pacing resumes from the new position)."""
+        if seconds is not None and seconds <= 0:
+            raise DriverError(f"step seconds must be positive, got {seconds}")
+        return self.act(
+            lambda: self._do_step(seconds, until), label="step", timeout=3600.0
+        )
+
+    def finish(self) -> dict:
+        """Run to the horizon and collect the result (idempotent)."""
+        return self.act(self._do_finish, label="finish", timeout=3600.0)
+
+    def snapshot(self, path: str) -> dict:
+        return self.act(lambda: self._do_snapshot(path), label="snapshot")
+
+    def status(self) -> dict:
+        """The driver's status document (served at ``/api/status``)."""
+        return self.read(self._status_doc, label="status")
+
+    @property
+    def result_doc(self) -> Optional[dict]:
+        return self._result_doc
+
+    # ------------------------------------------------------------------
+    # Sim-thread internals
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            block = not self._should_advance()
+            try:
+                command = self._queue.get(
+                    timeout=0.25 if block else self.poll_seconds
+                )
+            except queue.Empty:
+                command = None
+            if command is not None:
+                self._execute(command)
+                continue
+            self._run_deferred()
+            if self._should_advance():
+                self._advance_tick()
+        # Unblock any callers still waiting so shutdown never hangs them.
+        self._run_deferred()
+        while True:
+            try:
+                command = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._execute(command)
+
+    def _execute(self, command: _Command) -> None:
+        if self._advancing and not command.readonly:
+            # An act arriving while an advance slices forward: defer to
+            # the next boundary; order among deferred acts is preserved.
+            self._deferred.append(command)
+            return
+        self._commands_run += 1
+        command.run()
+
+    def _run_deferred(self) -> None:
+        while self._deferred:
+            command = self._deferred.pop(0)
+            self._commands_run += 1
+            command.run()
+
+    def _drain_reads_mid_advance(self) -> None:
+        """Between slices of a long advance, serve queued reads."""
+        while True:
+            try:
+                command = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            self._execute(command)
+
+    # -- pacing ---------------------------------------------------------
+    def _should_advance(self) -> bool:
+        return (
+            self.mode != "manual"
+            and not self._paused
+            and self._fatal is None
+            and self._result is None
+        )
+
+    def _advance_tick(self) -> None:
+        now = self.harness.engine.now
+        if self._anchor_wall is None:
+            self._anchor_wall = self.clock()
+            self._anchor_sim = now
+        target = self._anchor_sim + (
+            (self.clock() - self._anchor_wall) * self.speedup
+        )
+        horizon = self.harness.end_seconds
+        target = min(target, horizon)
+        if target > now:
+            self._advance_toward(target)
+        if self.harness.engine.now >= horizon and self._result is None:
+            self._do_finish()
+
+    def _advance_toward(self, target: float) -> None:
+        """Advance in slices, serving reads at each boundary."""
+        self._advancing = True
+        try:
+            while not self._stop.is_set():
+                now = self.harness.engine.now
+                if now >= target:
+                    break
+                boundary = min(now + self.slice_seconds, target)
+                self.harness.advance(boundary)
+                self._publish_control_events()
+                self._drain_reads_mid_advance()
+        except Exception as exc:
+            self._fatal = f"{type(exc).__name__}: {exc}"
+            logger.exception("simulation advance failed; driver halted")
+            self.bus.publish(
+                {"type": "driver", "action": "fatal", "detail": self._fatal,
+                 "sim_now": self.harness.engine.now}
+            )
+        finally:
+            self._advancing = False
+        self._run_deferred()
+
+    # -- command bodies (sim thread only) -------------------------------
+    def _do_start(self) -> dict:
+        if not self.harness.started:
+            self.harness.start()
+        self._publish_driver_event("started")
+        return self._status_doc()
+
+    def _do_pause(self) -> dict:
+        if not self._paused:
+            self._paused = True
+            self._anchor_wall = None
+            self._publish_driver_event("paused")
+        return self._status_doc()
+
+    def _do_resume(self) -> dict:
+        if self.mode == "manual":
+            raise DriverError(
+                "manual mode has no wall-clock pacing to resume; use step"
+            )
+        if self._paused:
+            self._paused = False
+            self._anchor_wall = None
+            self._publish_driver_event("resumed")
+        return self._status_doc()
+
+    def _do_step(self, seconds: Optional[float],
+                 until: Optional[float]) -> dict:
+        if self._fatal is not None:
+            raise DriverError(f"driver halted: {self._fatal}")
+        if self._result is not None:
+            raise DriverError("experiment already finished")
+        now = self.harness.engine.now
+        if until is not None:
+            target = float(until)
+            if target <= now:
+                raise DriverError(
+                    f"step target t={target:.1f}s is not ahead of now "
+                    f"(t={now:.1f}s)"
+                )
+        else:
+            target = now + float(
+                seconds if seconds is not None else self.slice_seconds
+            )
+        target = min(target, self.harness.end_seconds)
+        self._advance_toward(target)
+        if self._fatal is not None:
+            raise DriverError(f"driver halted: {self._fatal}")
+        self._steps += 1
+        self._anchor_wall = None  # re-anchor timed pacing after the jump
+        self._publish_driver_event("stepped")
+        return self._status_doc()
+
+    def _do_finish(self) -> dict:
+        if self._fatal is not None:
+            raise DriverError(f"driver halted: {self._fatal}")
+        if self._result is None:
+            result = self.harness.finish()
+            self._result = result
+            self._result_doc = self.harness.result_to_dict(result)
+            self._publish_control_events()
+            self._publish_driver_event("finished")
+        return self._status_doc()
+
+    def _do_snapshot(self, path: str) -> dict:
+        size = self.harness.save_snapshot(path)
+        self._publish_driver_event("snapshot", path=str(path), bytes=size)
+        return {"path": str(path), "bytes": size,
+                "sim_now": self.harness.engine.now}
+
+    # -- events ---------------------------------------------------------
+    def _publish_control_events(self) -> None:
+        """Bridge new engine eventlog entries onto the SSE bus."""
+        events = self.harness.event_log.events
+        if self._published_events >= len(events):
+            return
+        for event in events[self._published_events:]:
+            self.bus.publish(
+                {
+                    "type": "control",
+                    "time": event.time,
+                    "kind": event.kind,
+                    "server_id": event.server_id,
+                    "detail": event.detail,
+                }
+            )
+        self._published_events = len(events)
+
+    def _publish_driver_event(self, action: str, **extra) -> None:
+        doc = {
+            "type": "driver",
+            "action": action,
+            "sim_now": self.harness.engine.now,
+        }
+        doc.update(extra)
+        self.bus.publish(doc)
+
+    # -- status ---------------------------------------------------------
+    def _status_doc(self) -> dict:
+        now = self.harness.engine.now
+        horizon = self.harness.end_seconds
+        return {
+            "mode": self.mode,
+            "speedup": self.speedup,
+            "paused": self._paused,
+            "started": self.harness.started,
+            "finished": self._result is not None,
+            "fatal": self._fatal,
+            "sim_now": now,
+            "horizon": horizon,
+            "progress": min(1.0, now / horizon) if horizon > 0 else 0.0,
+            "steps": self._steps,
+            "commands": self._commands_run,
+            "events_published": self.bus.published,
+            "events_dropped": self.bus.dropped,
+            "subscribers": self.bus.subscriber_count,
+            "wall_uptime_seconds": (
+                self.clock() - self._wall_started
+                if self._wall_started is not None
+                else 0.0
+            ),
+        }
+
+
+__all__ = ["DriverError", "EventBus", "RealTimeDriver", "MODES"]

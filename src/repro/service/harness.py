@@ -1,0 +1,340 @@
+"""Uniform adapter over the two staged experiment harnesses.
+
+The live control-plane service drives either a single-row
+:class:`~repro.sim.experiment.ControlledExperiment` or a multi-row
+:class:`~repro.sim.fleet_experiment.FleetExperiment`. Both already expose
+the staged ``start()/advance()/finish()`` lifecycle and durable
+snapshots; what differs is where the groups, schedulers, controllers,
+breakers and the budget ledger hang off the object graph. The harness
+adapters normalize that shape so the driver, the observe views and the
+act operations are written once.
+
+Everything here runs on the *simulation thread* (see
+:mod:`repro.service.driver`): adapters mutate and read live experiment
+state and are not thread-safe on their own.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import FaultScenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.breaker import RowBreaker
+    from repro.cluster.group import ServerGroup
+    from repro.core.controller import AmpereController
+    from repro.core.safety import SafetySupervisor
+    from repro.fleet.ledger import BudgetLedger
+    from repro.monitor.power_monitor import PowerMonitor
+    from repro.scheduler.omega import OmegaScheduler
+    from repro.sim.eventlog import ControlEventLog
+    from repro.sim.experiment import ControlledExperiment
+    from repro.sim.fleet_experiment import FleetExperiment
+
+
+class HarnessError(RuntimeError):
+    """An act operation is not applicable to this harness."""
+
+
+class ExperimentHarness(abc.ABC):
+    """What the service needs from a staged experiment."""
+
+    #: "experiment" (single-row A/B) or "fleet" (multi-row facility)
+    kind: str
+
+    # -- lifecycle (delegated to the staged experiment) ----------------
+    @property
+    @abc.abstractmethod
+    def experiment(self):
+        """The underlying staged experiment object."""
+
+    @property
+    def config(self):
+        return self.experiment.config
+
+    @property
+    def end_seconds(self) -> float:
+        return self.config.end_seconds
+
+    @property
+    def engine(self):
+        return self.experiment_engine()
+
+    @abc.abstractmethod
+    def experiment_engine(self):
+        """The simulation engine of the run."""
+
+    def start(self) -> None:
+        self.experiment.start()
+
+    @property
+    def started(self) -> bool:
+        return self.experiment._started
+
+    def advance(self, until: Optional[float] = None) -> None:
+        self.experiment.advance(until)
+
+    def finish(self):
+        return self.experiment.finish()
+
+    @property
+    def finished(self) -> bool:
+        return self.experiment._ran
+
+    def save_snapshot(self, path: str) -> int:
+        return self.experiment.save_snapshot(path)
+
+    def build_auditor(self, config=None):
+        return self.experiment.build_auditor(config)
+
+    @abc.abstractmethod
+    def result_to_dict(self, result) -> dict:
+        """Serialize a finished result the way the batch CLI would."""
+
+    # -- topology ------------------------------------------------------
+    @abc.abstractmethod
+    def groups(self) -> Dict[str, "ServerGroup"]:
+        """Observable groups by name (rows, or the A/B split)."""
+
+    @abc.abstractmethod
+    def controlled_groups(self) -> List[str]:
+        """Names of groups an Ampere controller actively steers."""
+
+    @abc.abstractmethod
+    def scheduler_for(self, group_name: str) -> "OmegaScheduler":
+        """The *real* cluster scheduler owning a group's servers."""
+
+    @abc.abstractmethod
+    def controllers(self) -> Dict[str, "AmpereController"]:
+        """Controllers by controlled group name."""
+
+    @abc.abstractmethod
+    def breakers(self) -> Dict[str, "RowBreaker"]:
+        """Armed row breakers by group name (may be empty)."""
+
+    @abc.abstractmethod
+    def supervisors(self) -> Dict[str, "SafetySupervisor"]:
+        """Safety-ladder supervisors by group name (may be empty)."""
+
+    @property
+    @abc.abstractmethod
+    def monitor(self) -> "PowerMonitor":
+        """The shared monitoring plane."""
+
+    @property
+    @abc.abstractmethod
+    def event_log(self) -> "ControlEventLog":
+        """The control-plane audit trail."""
+
+    @property
+    def ledger(self) -> Optional["BudgetLedger"]:
+        """The facility budget ledger (fleet runs only)."""
+        return None
+
+    @property
+    def telemetry(self):
+        return self.experiment.telemetry
+
+    @property
+    def auditor(self):
+        return self.experiment.auditor
+
+    @property
+    def build_injector(self) -> Optional[FaultInjector]:
+        """The injector configured at build time, if any."""
+        return self.experiment.injector
+
+    # -- runtime fault arming ------------------------------------------
+    def arm_faults(self, scenario: FaultScenario) -> dict:
+        """Arm a fault scenario against the *live* run.
+
+        The scenario's windows are interpreted relative to now (a
+        scenario whose first blackout starts at t=600 begins blacking
+        out ten minutes after the operator arms it). Seams that can only
+        be installed at build time -- the flaky-RPC transport wrapper and
+        demand-surge profile wrapping -- cannot be armed mid-run and are
+        reported back as ignored rather than silently dropped.
+        """
+        ignored = []
+        if scenario.rpc_failure_rate > 0:
+            ignored.append("rpc")
+        if scenario.surges:
+            ignored.append("surges")
+        shifted = scenario.shifted(self.engine.now)
+        injector = FaultInjector(self.engine, shifted)
+        self._attach_runtime_injector(injector)
+        injector.arm(self.end_seconds)
+        self.runtime_injectors.append(injector)
+        return {
+            "scenario": scenario.name,
+            "armed_at": self.engine.now,
+            "ignored": ignored,
+        }
+
+    @abc.abstractmethod
+    def _attach_runtime_injector(self, injector: FaultInjector) -> None:
+        """Attach every seam available on this harness mid-run."""
+
+
+class SingleRowHarness(ExperimentHarness):
+    """Adapter over the paper's controlled A/B experiment."""
+
+    kind = "experiment"
+
+    def __init__(self, experiment: "ControlledExperiment") -> None:
+        self._experiment = experiment
+        self.runtime_injectors: List[FaultInjector] = []
+
+    @property
+    def experiment(self) -> "ControlledExperiment":
+        return self._experiment
+
+    def experiment_engine(self):
+        return self._experiment.testbed.engine
+
+    def result_to_dict(self, result) -> dict:
+        from repro.analysis.serialize import result_to_dict
+
+        return result_to_dict(result, include_series=False)
+
+    # -- topology ------------------------------------------------------
+    def groups(self) -> Dict[str, "ServerGroup"]:
+        exp = self._experiment
+        return {
+            exp.experiment_group.name: exp.experiment_group,
+            exp.control_group.name: exp.control_group,
+        }
+
+    def controlled_groups(self) -> List[str]:
+        if self._experiment.controller is None:
+            return []
+        return [self._experiment.experiment_group.name]
+
+    def scheduler_for(self, group_name: str) -> "OmegaScheduler":
+        if group_name not in self.groups():
+            raise HarnessError(f"unknown group {group_name!r}")
+        return self._experiment.testbed.scheduler
+
+    def controllers(self) -> Dict[str, "AmpereController"]:
+        controller = self._experiment.controller
+        if controller is None:
+            return {}
+        return {self._experiment.experiment_group.name: controller}
+
+    def breakers(self) -> Dict[str, "RowBreaker"]:
+        breaker = self._experiment.breaker
+        if breaker is None:
+            return {}
+        return {self._experiment.experiment_group.name: breaker}
+
+    def supervisors(self) -> Dict[str, "SafetySupervisor"]:
+        safety = self._experiment.safety
+        if safety is None:
+            return {}
+        return {self._experiment.experiment_group.name: safety}
+
+    @property
+    def monitor(self) -> "PowerMonitor":
+        return self._experiment.testbed.monitor
+
+    @property
+    def event_log(self) -> "ControlEventLog":
+        return self._experiment.event_log
+
+    def _attach_runtime_injector(self, injector: FaultInjector) -> None:
+        exp = self._experiment
+        injector.attach_monitor(exp.testbed.monitor)
+        if exp.controller is not None:
+            injector.attach_controller(exp.controller)
+        injector.attach_cluster(exp.testbed.scheduler)
+
+
+class FleetHarness(ExperimentHarness):
+    """Adapter over the multi-row facility experiment."""
+
+    kind = "fleet"
+
+    def __init__(self, experiment: "FleetExperiment") -> None:
+        self._experiment = experiment
+        self.runtime_injectors: List[FaultInjector] = []
+
+    @property
+    def experiment(self) -> "FleetExperiment":
+        return self._experiment
+
+    def experiment_engine(self):
+        return self._experiment.engine
+
+    def result_to_dict(self, result) -> dict:
+        from repro.analysis.serialize import fleet_result_to_dict
+
+        return fleet_result_to_dict(result)
+
+    # -- topology ------------------------------------------------------
+    def groups(self) -> Dict[str, "ServerGroup"]:
+        return {row.name: row for row in self._experiment.rows}
+
+    def controlled_groups(self) -> List[str]:
+        return sorted(self._experiment.controllers)
+
+    def scheduler_for(self, group_name: str) -> "OmegaScheduler":
+        for row, scheduler in zip(
+            self._experiment.rows, self._experiment.schedulers
+        ):
+            if row.name == group_name:
+                return scheduler
+        raise HarnessError(f"unknown group {group_name!r}")
+
+    def controllers(self) -> Dict[str, "AmpereController"]:
+        return dict(self._experiment.controllers)
+
+    def breakers(self) -> Dict[str, "RowBreaker"]:
+        return dict(self._experiment.breakers)
+
+    def supervisors(self) -> Dict[str, "SafetySupervisor"]:
+        return dict(self._experiment.supervisors)
+
+    @property
+    def monitor(self) -> "PowerMonitor":
+        return self._experiment.monitor
+
+    @property
+    def event_log(self) -> "ControlEventLog":
+        return self._experiment.event_log
+
+    @property
+    def ledger(self) -> Optional["BudgetLedger"]:
+        return self._experiment.ledger
+
+    def _attach_runtime_injector(self, injector: FaultInjector) -> None:
+        exp = self._experiment
+        injector.attach_monitor(exp.monitor)
+        if exp.coordinator is not None:
+            injector.attach_coordinator(exp.coordinator)
+
+
+def harness_for(experiment) -> ExperimentHarness:
+    """The right adapter for a staged experiment instance."""
+    from repro.sim.experiment import ControlledExperiment
+    from repro.sim.fleet_experiment import FleetExperiment
+
+    if isinstance(experiment, ControlledExperiment):
+        return SingleRowHarness(experiment)
+    if isinstance(experiment, FleetExperiment):
+        return FleetHarness(experiment)
+    raise TypeError(
+        f"no service harness for {type(experiment).__name__}; expected "
+        "ControlledExperiment or FleetExperiment"
+    )
+
+
+__all__ = [
+    "ExperimentHarness",
+    "FleetHarness",
+    "HarnessError",
+    "SingleRowHarness",
+    "harness_for",
+]

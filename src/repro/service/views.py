@@ -1,0 +1,363 @@
+"""Observe-side JSON documents built from live experiment state.
+
+Every function here takes an :class:`~repro.service.harness.ExperimentHarness`
+and returns plain dicts/lists of JSON-native values. They are called
+*on the simulation thread* (via :meth:`RealTimeDriver.read`), so they
+may walk live object graphs freely -- but they must **copy** everything
+they return, because by the time the HTTP thread serializes the
+document the sim thread has moved on.
+
+``json.dumps`` happily emits ``NaN``/``Infinity``, which browsers'
+``JSON.parse`` rejects -- and live power telemetry legitimately holds
+NaNs (an IPMI read during a monitoring blackout carries last-known
+value with a NaN marker, a never-sampled group has no latest point).
+:func:`jsonsafe` scrubs every document to ``null`` before it leaves the
+sim thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.service.harness import ExperimentHarness
+
+
+def jsonsafe(value):
+    """Recursively coerce a document to JSON-native, finite values.
+
+    NaN/Inf become ``None`` (valid JSON, parseable by browsers), numpy
+    scalars and arrays become Python numbers and lists, tuples become
+    lists, enums their values, dataclasses dicts. Unknown objects fall
+    back to ``str`` so an observe endpoint never 500s on an exotic leaf.
+    """
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.generic):
+        return jsonsafe(value.item())
+    if isinstance(value, np.ndarray):
+        return [jsonsafe(v) for v in value.tolist()]
+    if isinstance(value, enum.Enum):
+        return jsonsafe(value.value)
+    if isinstance(value, dict):
+        return {str(k): jsonsafe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [jsonsafe(v) for v in items]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonsafe(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Documents
+# ----------------------------------------------------------------------
+def config_doc(harness: ExperimentHarness) -> dict:
+    return jsonsafe(
+        {
+            "kind": harness.kind,
+            "config": harness.config,
+            "end_seconds": harness.end_seconds,
+        }
+    )
+
+
+def _group_summary(harness: ExperimentHarness, name: str, group) -> dict:
+    servers = group.servers
+    breaker = harness.breakers().get(name)
+    supervisor = harness.supervisors().get(name)
+    doc = {
+        "name": name,
+        "n_servers": len(servers),
+        "power_watts": group.power_watts(),
+        "budget_watts": group.power_budget_watts,
+        "rated_watts": group.rated_watts(),
+        "normalized_power": group.normalized_power(),
+        "over_provision_ratio": group.over_provision_ratio,
+        "frozen": sum(1 for s in servers if s.frozen),
+        "capped": sum(1 for s in servers if s.is_capped),
+        "failed": sum(1 for s in servers if s.failed),
+        "powered_off": sum(1 for s in servers if s.powered_off),
+        "controlled": name in harness.controllers(),
+        "safety_state": supervisor.state.name if supervisor else None,
+        "safety_level": int(supervisor.state) if supervisor else None,
+        "breaker": (
+            {
+                "tripped": breaker.tripped,
+                "thermal_fraction": breaker.thermal_fraction,
+                "trips": breaker.stats.trips,
+            }
+            if breaker
+            else None
+        ),
+    }
+    try:
+        doc["violations"] = harness.monitor.violation_count(name)
+    except KeyError:
+        doc["violations"] = None
+    return doc
+
+
+def state_doc(harness: ExperimentHarness) -> dict:
+    """The facility overview: every group, one summary row each."""
+    monitor = harness.monitor
+    groups = harness.groups()
+    return jsonsafe(
+        {
+            "kind": harness.kind,
+            "sim_now": harness.engine.now,
+            "facility_budget_watts": monitor.facility_budget_watts,
+            "facility_power_watts": sum(
+                g.power_watts() for g in groups.values()
+            ),
+            "in_outage": monitor.in_outage,
+            "sensor_bias": monitor.sensor_bias,
+            "groups": [
+                _group_summary(harness, name, group)
+                for name, group in groups.items()
+            ],
+        }
+    )
+
+
+def group_doc(harness: ExperimentHarness, name: str) -> Optional[dict]:
+    """One group in depth: per-server masks plus controller state."""
+    groups = harness.groups()
+    if name not in groups:
+        return None
+    group = groups[name]
+    doc = _group_summary(harness, name, group)
+    doc["servers"] = [
+        {
+            "id": s.server_id,
+            "power_watts": s.power_watts(),
+            "frozen": s.frozen,
+            "capped": s.is_capped,
+            "failed": s.failed,
+            "powered_off": s.powered_off,
+        }
+        for s in group.servers
+    ]
+    controller = harness.controllers().get(name)
+    if controller is not None:
+        state = controller.state_of(name)
+        doc["controller"] = {
+            "ticks": state.ticks,
+            "active_ticks": state.active_ticks,
+            "freeze_actions": state.freeze_actions,
+            "unfreeze_actions": state.unfreeze_actions,
+            "u_mean": state.u_mean,
+            "u_max": state.u_max,
+            "intended_frozen": len(state.intended_frozen),
+            "residuals": state.residual_summary(),
+        }
+    else:
+        doc["controller"] = None
+    return jsonsafe(doc)
+
+
+def controllers_doc(harness: ExperimentHarness) -> dict:
+    """Controller health counters per controlled group."""
+    out = {}
+    for name, controller in harness.controllers().items():
+        state = controller.state_of(name)
+        out[name] = {
+            "crashed": controller.crashed,
+            "health": controller.health.summary(),
+            "u_mean": state.u_mean,
+            "u_max": state.u_max,
+            "ticks": state.ticks,
+        }
+    return jsonsafe({"controllers": out})
+
+
+def ledger_doc(harness: ExperimentHarness) -> Optional[dict]:
+    """The facility budget ledger (fleet runs only)."""
+    ledger = harness.ledger
+    if ledger is None:
+        return None
+    return jsonsafe(
+        {
+            "facility_budget_watts": ledger.facility_budget_watts,
+            "frozen": ledger.frozen,
+            "rows": [
+                {
+                    "name": row.name,
+                    "allocation_watts": row.allocation_watts,
+                    "static_watts": row.static_watts,
+                    "rating_watts": row.rating_watts,
+                    "floor_watts": row.floor_watts,
+                }
+                for row in ledger.rows()
+            ],
+        }
+    )
+
+
+def events_doc(harness: ExperimentHarness, limit: int = 100,
+               kind: Optional[str] = None) -> dict:
+    """The tail of the control-plane eventlog, newest last."""
+    events = harness.event_log.events
+    if kind is not None:
+        events = [e for e in events if e.kind == kind]
+    tail = events[-limit:] if limit > 0 else list(events)
+    return jsonsafe(
+        {
+            "total": len(harness.event_log.events),
+            "returned": len(tail),
+            "events": [
+                {
+                    "time": e.time,
+                    "kind": e.kind,
+                    "server_id": e.server_id,
+                    "detail": e.detail,
+                }
+                for e in tail
+            ],
+        }
+    )
+
+
+def series_doc(harness: ExperimentHarness,
+               window_seconds: float = 3600.0) -> dict:
+    """Power-vs-budget traces for the dashboard's charts.
+
+    Returns the trailing ``window_seconds`` of each group's monitor
+    series plus the facility roll-up when one exists.
+    """
+    monitor = harness.monitor
+    now = harness.engine.now
+    start = max(0.0, now - window_seconds)
+    series = {}
+    for name, group in harness.groups().items():
+        try:
+            times, watts = monitor.power_series(name, start, now)
+        except KeyError:
+            continue
+        series[name] = {
+            "times": times,
+            "watts": watts,
+            "budget_watts": group.power_budget_watts,
+        }
+    try:
+        times, watts = monitor.facility_power_series(start, now)
+        facility = {
+            "times": times,
+            "watts": watts,
+            "budget_watts": monitor.facility_budget_watts,
+        }
+    except KeyError:
+        facility = None
+    return jsonsafe(
+        {"sim_now": now, "window_seconds": window_seconds,
+         "groups": series, "facility": facility}
+    )
+
+
+def safety_doc(harness: ExperimentHarness) -> dict:
+    """Safety-ladder and breaker state for every protected group."""
+    out = {}
+    breakers = harness.breakers()
+    for name, supervisor in harness.supervisors().items():
+        stats = supervisor.stats
+        out[name] = {
+            "state": supervisor.state.name,
+            "level": int(supervisor.state),
+            "escalations": stats.escalations,
+            "deescalations": stats.deescalations,
+            "max_state": stats.max_state,
+            "freezes_issued": stats.freezes_issued,
+            "slams": stats.slams,
+            "jobs_shed": stats.jobs_shed,
+            "seconds_in_state": stats.seconds_in_state,
+        }
+    breaker_docs = {}
+    for name, breaker in breakers.items():
+        breaker_docs[name] = {
+            "tripped": breaker.tripped,
+            "thermal_fraction": breaker.thermal_fraction,
+            "trips": breaker.stats.trips,
+            "resets": breaker.stats.resets,
+            "jobs_killed": breaker.stats.jobs_killed,
+        }
+    return jsonsafe({"supervisors": out, "breakers": breaker_docs})
+
+
+def faults_doc(harness: ExperimentHarness) -> dict:
+    """Build-time and runtime-armed fault injector statistics."""
+
+    def injector_doc(injector) -> dict:
+        stats = injector.stats_snapshot()
+        return {
+            "scenario": injector.scenario.name,
+            "stats": stats,
+        }
+
+    build = harness.build_injector
+    return jsonsafe(
+        {
+            "build": injector_doc(build) if build is not None else None,
+            "runtime": [
+                injector_doc(inj) for inj in harness.runtime_injectors
+            ],
+        }
+    )
+
+
+def audit_doc(harness: ExperimentHarness) -> dict:
+    """Run a full (unsampled) invariant sweep right now and report it.
+
+    Also includes the cumulative stats of the experiment's *online*
+    auditor when one was armed via config.
+    """
+    from repro.sim.audit import AuditorConfig
+
+    auditor = harness.build_auditor(
+        AuditorConfig(sample_fraction=1.0, on_violation="record")
+    )
+    violations = auditor.audit(sample=False)
+    online = harness.auditor
+    return jsonsafe(
+        {
+            "clean": not violations,
+            "violations": [
+                {"check": v.check, "time": v.time, "message": v.message,
+                 "details": v.details}
+                for v in violations
+            ],
+            "online": (
+                {
+                    "passes": online.stats.passes,
+                    "checks_run": online.stats.checks_run,
+                    "violations": online.stats.violations,
+                    "violations_by_check": online.stats.violations_by_check,
+                }
+                if online is not None
+                else None
+            ),
+        }
+    )
+
+
+__all__ = [
+    "audit_doc",
+    "config_doc",
+    "controllers_doc",
+    "events_doc",
+    "faults_doc",
+    "group_doc",
+    "jsonsafe",
+    "ledger_doc",
+    "safety_doc",
+    "series_doc",
+    "state_doc",
+]

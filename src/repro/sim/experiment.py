@@ -320,6 +320,7 @@ class ControlledExperiment:
             self.auditor = self.build_auditor(config.auditor)
         self._started = False
         self._ran = False
+        self._result: Optional[ExperimentResult] = None
 
     # ------------------------------------------------------------------
     # Staged execution: start() arms everything, advance() moves simulated
@@ -380,12 +381,21 @@ class ControlledExperiment:
         self.testbed.engine.run(until=target)
 
     def finish(self) -> ExperimentResult:
-        """Run any remaining simulated time and collect the outcomes."""
+        """Run any remaining simulated time and collect the outcomes.
+
+        Idempotent: repeated calls return the same cached result without
+        re-collecting (no double-emitted report rows), so a graceful
+        shutdown can always call ``finish()`` regardless of whether the
+        run already completed. Works from any :meth:`advance` point.
+        """
         if self._ran:
-            raise RuntimeError("experiment already ran; build a new instance")
+            return self._result
         self.advance()
         self._ran = True
-        return self._collect(self.config.warmup_seconds, self.config.end_seconds)
+        self._result = self._collect(
+            self.config.warmup_seconds, self.config.end_seconds
+        )
+        return self._result
 
     def run(self) -> ExperimentResult:
         """Execute the experiment and return measured outcomes."""

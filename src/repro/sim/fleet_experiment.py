@@ -359,6 +359,7 @@ class FleetExperiment:
             self.auditor = self.build_auditor(config.auditor)
         self._started = False
         self._ran = False
+        self._result: Optional[FleetResult] = None
 
     # ------------------------------------------------------------------
     # Staged execution (mirrors ControlledExperiment: start/advance/finish
@@ -423,12 +424,19 @@ class FleetExperiment:
         self.engine.run(until=target)
 
     def finish(self) -> FleetResult:
-        """Run any remaining simulated time and collect the outcomes."""
+        """Run any remaining simulated time and collect the outcomes.
+
+        Idempotent like :meth:`ControlledExperiment.finish`: repeated
+        calls return the cached result without re-collecting.
+        """
         if self._ran:
-            raise RuntimeError("experiment already ran; build a new instance")
+            return self._result
         self.advance()
         self._ran = True
-        return self._collect(self.config.warmup_seconds, self.config.end_seconds)
+        self._result = self._collect(
+            self.config.warmup_seconds, self.config.end_seconds
+        )
+        return self._result
 
     def run(self) -> FleetResult:
         """Execute the fleet experiment and return measured outcomes."""

@@ -36,7 +36,11 @@ from repro.workload.distributions import (
     ResourceDemandDistribution,
     rate_for_target_utilization,
 )
-from repro.workload.generator import BatchWorkloadGenerator, DiurnalRateProfile, ModulatedRateProfile
+from repro.workload.generator import (
+    BatchWorkloadGenerator,
+    DiurnalRateProfile,
+    ModulatedRateProfile,
+)
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ import logging
 from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
     registry_from_snapshot,
     render_json,
     render_prometheus,
@@ -178,6 +179,7 @@ __all__ = [
     "configure_logging",
     "registry_from_snapshot",
     "render_json",
+    "PROMETHEUS_CONTENT_TYPE",
     "render_prometheus",
     "save_snapshot",
     "snapshot",

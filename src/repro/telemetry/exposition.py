@@ -24,6 +24,12 @@ from repro.telemetry.registry import (
 )
 
 
+#: the Content-Type the text format must be served under. Shared by the
+#: CLI's ``metrics --prom`` note and the service's ``/metrics`` endpoint
+#: so the two can never drift apart.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def _format_value(value: float) -> str:
     """Prometheus-style number rendering (integers without the dot)."""
     if isinstance(value, float) and math.isinf(value):
@@ -33,8 +39,28 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through. Backslash must go first or it would re-escape the others.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a HELP docstring (backslash and newline only, per spec)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: LabelKey, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -45,7 +71,9 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     lines: List[str] = []
     for family in registry.families():
         if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(
+                f"# HELP {family.name} {escape_help_text(family.help)}"
+            )
         lines.append(f"# TYPE {family.name} {family.kind}")
         for key in sorted(family.children):
             child = family.children[key]
@@ -140,6 +168,9 @@ def registry_from_snapshot(doc: Dict[str, Any]) -> MetricsRegistry:
 
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "escape_help_text",
+    "escape_label_value",
     "registry_from_snapshot",
     "render_json",
     "render_prometheus",

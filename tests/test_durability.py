@@ -272,11 +272,12 @@ def test_read_snapshot_round_trips_generic_payload(tmp_path):
 
 def test_finished_experiment_refuses_second_run():
     experiment = ControlledExperiment(tiny_config())
-    experiment.run()
+    result = experiment.run()
     with pytest.raises(RuntimeError):
         experiment.run()
-    with pytest.raises(RuntimeError):
-        experiment.finish()
+    # finish() is idempotent: it hands back the cached result instead of
+    # re-collecting (the service's graceful-shutdown path relies on it).
+    assert experiment.finish() is result
 
 
 # ---------------------------------------------------------------------------

@@ -60,7 +60,8 @@ class TestControllerOnMixedFleet:
         # Old SKUs idle at 225 W; new SKUs idle at 100 W. Load the new
         # SKUs fully: 100 + 100*1 = 200 W -- still colder than old idle.
         for server in row.servers[4:]:
-            scheduler.place_pinned(Job(server.server_id, 1e9, cores=32, memory_gb=1), server.server_id)
+            job = Job(server.server_id, 1e9, cores=32, memory_gb=1)
+            scheduler.place_pinned(job, server.server_id)
         group.power_budget_watts = group.power_watts() * 1.001
         monitor = PowerMonitor(engine, noise_sigma=0.0)
         monitor.register_group(group)

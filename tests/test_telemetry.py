@@ -238,6 +238,54 @@ class TestExposition:
         # must survive a strict JSON round trip unchanged
         assert json.loads(json.dumps(doc)) == doc
 
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_esc_total", "escapes",
+            {"detail": 'say "hi"\nback\\slash'},
+        ).inc()
+        text = render_prometheus(reg)
+        assert (
+            'repro_esc_total{detail="say \\"hi\\"\\nback\\\\slash"} 1\n'
+            in text
+        )
+        # no raw newline may survive inside a sample line
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
+
+    def test_escape_label_value_rules(self):
+        from repro.telemetry.exposition import escape_label_value
+
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("a\\b") == "a\\\\b"
+        # backslash escapes first: the escaped quote keeps its backslash
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_help_text_newlines_are_escaped(self):
+        from repro.telemetry.exposition import escape_help_text
+
+        reg = MetricsRegistry()
+        reg.gauge("repro_multi_line", "first\nsecond").set(1)
+        text = render_prometheus(reg)
+        assert "# HELP repro_multi_line first\\nsecond\n" in text
+        assert escape_help_text("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_content_type_constant(self):
+        from repro.telemetry import PROMETHEUS_CONTENT_TYPE
+
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_escaped_exposition_stays_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("repro_det_total", "x", {"k": 'v"\n\\'}).inc(2)
+            return render_prometheus(reg)
+
+        assert build() == build()
+
 
 # ---------------------------------------------------------------------------
 # Tracer
