@@ -439,6 +439,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a durable snapshot on SIGTERM/SIGINT before exiting "
         "(verify it later with 'verify-snapshot')",
     )
+    serve.add_argument(
+        "--state-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="durable service state: verified auto-snapshots, rotation "
+        "manifest and the act write-ahead log live here; a killed serve "
+        "process can then be continued with 'serve --resume'",
+    )
+    serve.add_argument(
+        "--auto-snapshot-every",
+        type=float,
+        default=10.0,
+        metavar="SIM_MINUTES",
+        help="sim-minutes between auditor-verified auto-snapshots "
+        "(0 disables them; recovery then only has the genesis frame)",
+    )
+    serve.add_argument(
+        "--auto-snapshot-min-wall",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="wall-clock floor between auto-snapshot offers (checkpoints "
+        "bound wall-time recovery loss, so a step-mode run racing "
+        "through simulated time is not charged one frame encode per "
+        "sim-cadence tick; 0 disables the throttle)",
+    )
+    serve.add_argument(
+        "--serve-resume",
+        "--resume",
+        dest="serve_resume",
+        action="store_true",
+        help="resume from --state-dir (newest verified snapshot + WAL "
+        "replay); experiment-building flags are ignored",
+    )
     return parser
 
 
@@ -983,10 +1018,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.core.safety import SafetyConfig
-    from repro.service import build_service
+    from repro.service import SupervisorConfig, build_service
     from repro.sim.audit import AuditorConfig
 
-    if args.golden:
+    supervisor_config = SupervisorConfig(
+        state_dir=args.state_dir,
+        auto_snapshot_every=(
+            args.auto_snapshot_every * 60.0
+            if args.auto_snapshot_every else None
+        ),
+        auto_snapshot_min_wall_seconds=args.auto_snapshot_min_wall,
+    )
+
+    if args.serve_resume:
+        if args.state_dir is None:
+            print("error: --resume requires --state-dir", file=sys.stderr)
+            return 2
+        experiment = None
+    elif args.golden:
         # The pinned regression configuration (tests/test_golden.py):
         # a --step-mode run driven to the horizon via the API returns
         # the golden result document byte for byte.
@@ -1060,6 +1109,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         speedup=args.speedup,
         host=args.host,
         port=args.port,
+        supervisor_config=supervisor_config,
+        resume=args.serve_resume,
     )
     service.start()
     host, port = service.address

@@ -15,11 +15,16 @@ Campaign-level checkpoint/resume builds on both from
 restored state lives in :mod:`repro.sim.audit`.
 """
 
-from repro.durability.atomic import atomic_write_bytes, atomic_write_text
+from repro.durability.atomic import (
+    append_line_fsync,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 from repro.durability.snapshot import (
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
     SnapshotError,
+    canonical_dumps,
     decode_header,
     decode_snapshot,
     encode_snapshot,
@@ -32,8 +37,10 @@ __all__ = [
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
     "SnapshotError",
+    "append_line_fsync",
     "atomic_write_bytes",
     "atomic_write_text",
+    "canonical_dumps",
     "decode_header",
     "decode_snapshot",
     "encode_snapshot",

@@ -65,4 +65,26 @@ def atomic_write_text(
     atomic_write_bytes(path, text.encode(encoding))
 
 
-__all__ = ["atomic_write_bytes", "atomic_write_text"]
+def append_line_fsync(
+    path: Union[str, Path], line: str, encoding: str = "utf-8"
+) -> None:
+    """Durably append one newline-terminated record to ``path``.
+
+    The write-ahead-log discipline: a single ``write`` of the full record
+    (plus its terminating newline) followed by ``fsync`` before the call
+    returns. A crash mid-append can tear at most the *last* line of the
+    file -- appends never rewrite earlier bytes -- so a reader that drops
+    a trailing line without a newline (or that fails to parse) recovers
+    every record that was ever acknowledged. ``line`` must not itself
+    contain a newline; that would forge record boundaries.
+    """
+    if "\n" in line:
+        raise ValueError("WAL records must be single lines")
+    data = line.encode(encoding) + b"\n"
+    with open(path, "ab") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+__all__ = ["append_line_fsync", "atomic_write_bytes", "atomic_write_text"]

@@ -25,6 +25,23 @@ refuses old files explicitly. ``meta`` holds deterministic descriptive
 fields only (sim time, backend, seed) -- never wall-clock timestamps, so
 snapshotting the same state twice yields the same bytes.
 
+Canonical encoding
+------------------
+Payloads are produced by a *canonical* pickler that deduplicates equal
+``str``/``bytes`` atoms by value instead of by object identity. Plain
+pickle memoizes by ``id()``, so a graph in which two dicts share one
+interned ``'violations'`` string serializes differently from the same
+logical graph where those are two equal-but-distinct strings -- exactly
+what a snapshot/restore round trip produces (the unpickler materializes
+fresh, un-interned strings). Value-keyed deduplication of immutable
+atoms erases that history, so *equal logical state encodes to equal
+bytes even across restore boundaries* -- the property the self-healing
+service leans on to prove a crash-recovered run byte-identical to an
+uninterrupted one. Mutable containers keep identity-based memoization:
+their sharing structure is semantically meaningful (merging two equal
+dicts would alias future mutations) and is preserved exactly by a
+round trip anyway.
+
 Security note: the payload is a pickle. Restoring executes arbitrary
 code embedded in the file, exactly like loading any pickle; only restore
 snapshots you (or your own pipeline) wrote. The checksum detects
@@ -34,6 +51,7 @@ corruption, not tampering.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import pickle
 from pathlib import Path
@@ -56,11 +74,55 @@ class SnapshotError(RuntimeError):
     """A snapshot frame is malformed, corrupted, or of the wrong kind."""
 
 
+class _CanonicalPickler(pickle._Pickler):
+    """Pickler that dedups equal ``str``/``bytes`` by value, not identity.
+
+    Built on the pure-Python pickler so ``save`` can be intercepted: every
+    string/bytes object is swapped for the first equal instance seen, after
+    which the normal identity memo turns repeats into GET opcodes. Only
+    immutable atoms are canonicalized -- aliasing them is unobservable --
+    so the stream stays a standard pickle and loads with ``pickle.loads``.
+    """
+
+    def __init__(self, file, protocol):
+        super().__init__(file, protocol)
+        self._intern: Dict[Any, Any] = {}
+
+    def save(self, obj, save_persistent_id=True):
+        if type(obj) in (str, bytes):
+            obj = self._intern.setdefault(obj, obj)
+        return super().save(obj, save_persistent_id)
+
+    def memoize(self, obj):
+        # The pure-Python pickler writes PickleBuffer payloads through
+        # save_bytes()/save_bytearray() directly, bypassing the memo
+        # check in save(). An *empty* buffer's tobytes() is the interned
+        # b"" singleton, so if b"" was pickled earlier it arrives here
+        # already memoized and the base memoize() asserts. The payload
+        # is already on the wire at this point; skipping the duplicate
+        # PUT yields a valid, deterministic stream.
+        if id(obj) in self.memo:
+            return
+        super().memoize(obj)
+
+
+def canonical_dumps(obj: Any) -> bytes:
+    """Pickle ``obj`` with value-canonical string/bytes deduplication.
+
+    Equal logical state yields equal bytes even when one side's object
+    graph went through a snapshot/restore round trip (which loses string
+    interning and sharing history that plain pickle would encode).
+    """
+    buffer = io.BytesIO()
+    _CanonicalPickler(buffer, _PICKLE_PROTOCOL).dump(obj)
+    return buffer.getvalue()
+
+
 def encode_snapshot(
     obj: Any, kind: str, meta: Optional[Mapping[str, Any]] = None
 ) -> bytes:
     """Serialize ``obj`` into a framed, checksummed snapshot."""
-    payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+    payload = canonical_dumps(obj)
     header = {
         "magic": SNAPSHOT_MAGIC,
         "version": SNAPSHOT_VERSION,
@@ -155,6 +217,7 @@ __all__ = [
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
     "SnapshotError",
+    "canonical_dumps",
     "decode_header",
     "decode_snapshot",
     "encode_snapshot",

@@ -10,18 +10,28 @@ Layers, bottom up:
 - :mod:`repro.service.harness` -- one adapter shape over both staged
   experiment kinds (groups, controllers, breakers, ledger, eventlog).
 - :mod:`repro.service.driver` -- the single-writer simulation thread
-  with its command queue; real, accelerated and manual-step pacing.
+  with its bounded command queue; real, accelerated and manual-step
+  pacing; heartbeat and auto-snapshot hooks.
+- :mod:`repro.service.wal` -- the write-ahead log of operator acts and
+  the one ``apply_act`` path shared by live requests and replay.
+- :mod:`repro.service.supervisor` -- verified checkpoints, the watchdog
+  that rebuilds a dead/hung driver from checkpoint + WAL replay, and
+  the service-plane metrics registry.
 - :mod:`repro.service.views` -- observe-side JSON documents (NaN-safe).
 - :mod:`repro.service.app` -- validated act operations (freeze, budget
-  reallocation, fault arming, snapshot/verify) and observe dispatch.
-- :mod:`repro.service.api` -- ThreadingHTTPServer routing, SSE bridge,
-  the Prometheus endpoint.
+  reallocation, fault arming, snapshot/verify), observe dispatch with
+  read-only degraded mode, health/readiness probes.
+- :mod:`repro.service.api` -- ThreadingHTTPServer routing, SSE bridge
+  with ``Last-Event-ID`` replay, backpressure mapping (429/503 +
+  Retry-After), the Prometheus endpoint.
 - :mod:`repro.service.dashboard` -- the zero-dependency HTML operator
   console served at ``/``.
 
 Manual-step mode issues exactly the batch ``advance()`` sequence, so a
 service-driven run is byte-identical to ``run()`` -- pinned in
-tests/test_service.py on both engine backends.
+tests/test_service.py on both engine backends -- and a crash-recovered
+run is byte-identical to an uninterrupted one (tests/
+test_service_resilience.py).
 """
 
 from __future__ import annotations
@@ -32,7 +42,13 @@ from typing import Optional
 
 from repro.service.api import ServiceHTTPServer, make_server
 from repro.service.app import ServiceApp, ServiceError
-from repro.service.driver import DriverError, EventBus, RealTimeDriver
+from repro.service.driver import (
+    DriverBusy,
+    DriverError,
+    DriverTimeout,
+    EventBus,
+    RealTimeDriver,
+)
 from repro.service.harness import (
     ExperimentHarness,
     FleetHarness,
@@ -40,27 +56,44 @@ from repro.service.harness import (
     SingleRowHarness,
     harness_for,
 )
+from repro.service.supervisor import (
+    DriverSupervisor,
+    SupervisorConfig,
+    SupervisorError,
+    load_resume_state,
+)
+from repro.service.wal import ActWal, apply_act
 
 logger = logging.getLogger(__name__)
 
 
 class ServiceHandle:
-    """One wired service instance: harness + driver + app + HTTP server.
+    """One wired service instance: supervisor + app + HTTP server.
 
     The single entry point the CLI and the tests share, so both always
-    exercise the same wiring. ``start()`` launches the sim thread and
-    the HTTP accept loop; ``stop()`` tears both down in the only safe
-    order (stop accepting, write the final snapshot from the sim
-    thread, stop the sim thread, close sockets).
+    exercise the same wiring. ``start()`` launches the sim thread, the
+    supervision watchdog and the HTTP accept loop; ``stop()`` tears them
+    down in the only safe order (stop accepting, stop the watchdog,
+    write the final snapshot from the sim thread, stop the sim thread,
+    close sockets).
     """
 
-    def __init__(self, harness: ExperimentHarness, driver: RealTimeDriver,
-                 app: ServiceApp, httpd: ServiceHTTPServer) -> None:
-        self.harness = harness
-        self.driver = driver
+    def __init__(self, supervisor: DriverSupervisor, app: ServiceApp,
+                 httpd: ServiceHTTPServer) -> None:
+        self.supervisor = supervisor
         self.app = app
         self.httpd = httpd
         self._http_thread: Optional[threading.Thread] = None
+
+    # The driver/harness pair is volatile across recoveries; route every
+    # access through the supervisor so callers never hold a stale one.
+    @property
+    def driver(self) -> RealTimeDriver:
+        return self.supervisor.driver
+
+    @property
+    def harness(self) -> ExperimentHarness:
+        return self.supervisor.harness
 
     @property
     def address(self) -> "tuple[str, int]":
@@ -73,7 +106,7 @@ class ServiceHandle:
         return f"http://{host}:{port}"
 
     def start(self) -> None:
-        self.driver.start()
+        self.supervisor.start()
         self._http_thread = threading.Thread(
             target=self.httpd.serve_forever,
             kwargs={"poll_interval": 0.1},
@@ -86,7 +119,7 @@ class ServiceHandle:
     def stop(self, snapshot_path: Optional[str] = None) -> Optional[int]:
         """Graceful teardown; returns final snapshot size when written."""
         self.httpd.shutting_down.set()
-        written = self.driver.shutdown(snapshot_path=snapshot_path)
+        written = self.supervisor.stop(snapshot_path=snapshot_path)
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._http_thread is not None:
@@ -102,25 +135,63 @@ class ServiceHandle:
 
 
 def build_service(
-    experiment,
+    experiment=None,
     mode: str = "manual",
     speedup: float = 60.0,
     host: str = "127.0.0.1",
     port: int = 0,
     slice_seconds: float = 60.0,
+    supervisor_config: Optional[SupervisorConfig] = None,
+    resume: bool = False,
+    advance_hook=None,
 ) -> ServiceHandle:
-    """Wire a staged experiment into a ready-to-start service."""
-    harness = harness_for(experiment)
-    driver = RealTimeDriver(
-        harness, mode=mode, speedup=speedup, slice_seconds=slice_seconds
-    )
-    app = ServiceApp(harness, driver)
+    """Wire a staged experiment into a ready-to-start supervised service.
+
+    ``resume=True`` ignores ``experiment`` and rebuilds the harness from
+    the supervisor config's ``state_dir`` (newest verified checkpoint
+    plus WAL replay). Supervision is always on; without a ``state_dir``
+    the checkpoints and the WAL simply live in memory, which still
+    recovers from driver crashes and hangs (just not from a killed
+    process).
+    """
+    config = supervisor_config or SupervisorConfig()
+    if resume:
+        harness, wal, checkpoint, _ = load_resume_state(config)
+        supervisor = DriverSupervisor(
+            harness,
+            mode=mode,
+            speedup=speedup,
+            slice_seconds=slice_seconds,
+            config=config,
+            advance_hook=advance_hook,
+            wal=wal,
+            initial_checkpoint=checkpoint,
+        )
+    else:
+        if experiment is None:
+            raise SupervisorError(
+                "build_service needs an experiment (or resume=True)"
+            )
+        harness = harness_for(experiment)
+        supervisor = DriverSupervisor(
+            harness,
+            mode=mode,
+            speedup=speedup,
+            slice_seconds=slice_seconds,
+            config=config,
+            advance_hook=advance_hook,
+        )
+    app = ServiceApp(supervisor)
     httpd = make_server(app, host=host, port=port)
-    return ServiceHandle(harness, driver, app, httpd)
+    return ServiceHandle(supervisor, app, httpd)
 
 
 __all__ = [
+    "ActWal",
+    "DriverBusy",
     "DriverError",
+    "DriverSupervisor",
+    "DriverTimeout",
     "EventBus",
     "ExperimentHarness",
     "FleetHarness",
@@ -131,7 +202,11 @@ __all__ = [
     "ServiceHTTPServer",
     "ServiceHandle",
     "SingleRowHarness",
+    "SupervisorConfig",
+    "SupervisorError",
+    "apply_act",
     "build_service",
     "harness_for",
+    "load_resume_state",
     "make_server",
 ]

@@ -26,6 +26,8 @@ GET    /api/faults               armed injectors and their fault counts
 GET    /api/audit                full invariant sweep of live state, now
 GET    /api/result               final result document (404 until finished)
 GET    /api/scenarios            builtin fault scenario registry
+GET    /healthz                  liveness probe (200 while serving)
+GET    /readyz                   readiness probe (503 while degraded)
 GET    /metrics                  Prometheus text exposition
 GET    /events                   SSE stream (control + driver events)
 POST   /api/pause                stop wall-clock pacing
@@ -41,8 +43,11 @@ POST   /api/verify-snapshot      restore + audit {"path": p} off-thread
 ====== ========================= ==========================================
 
 Errors come back as ``{"error": message}`` with a meaningful status
-(400 bad input, 404 unknown resource, 409 wrong state, 422 rejected by
-an invariant, 500 unexpected).
+(400 bad input, 404 unknown resource, 409 wrong state, 413 oversized
+body, 422 rejected by an invariant, 429 command queue full, 500
+unexpected, 503 degraded/timed out). 429 and 503 responses carry a
+``Retry-After`` header so well-behaved clients back off instead of
+hammering a recovering service.
 """
 
 from __future__ import annotations
@@ -57,7 +62,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.service.app import ServiceApp, ServiceError
 from repro.service.dashboard import DASHBOARD_HTML
-from repro.service.driver import DriverError
+from repro.service.driver import DriverBusy, DriverError, DriverTimeout
 from repro.telemetry import PROMETHEUS_CONTENT_TYPE
 
 logger = logging.getLogger(__name__)
@@ -69,6 +74,11 @@ SSE_CONTENT_TYPE = "text/event-stream"
 #: wall seconds between SSE keepalive comments when no events flow; short
 #: so closed connections are detected promptly and shutdown never hangs
 SSE_KEEPALIVE_SECONDS = 2.0
+
+#: request bodies larger than this are refused with 413 -- the biggest
+#: legitimate body (a full fleet budget reallocation or an inline fault
+#: scenario spec) is a few KiB
+MAX_BODY_BYTES = 1 << 20
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -101,23 +111,54 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(self, status: int, body: bytes, content_type: str,
+              retry_after: Optional[float] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Cache-Control", "no-store")
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, int(retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, doc) -> None:
+    def _send_json(self, status: int, doc,
+                   retry_after: Optional[float] = None) -> None:
         body = json.dumps(doc, sort_keys=True).encode("utf-8")
-        self._send(status, body, JSON_CONTENT_TYPE)
+        self._send(status, body, JSON_CONTENT_TYPE, retry_after=retry_after)
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error(self, status: int, message: str,
+                    retry_after: Optional[float] = None) -> None:
+        self._send_json(status, {"error": message}, retry_after=retry_after)
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        """Parse the JSON request body, defensively.
+
+        Bounded on purpose: a malformed ``Content-Length`` is a 400 (not
+        an uncaught ``ValueError`` turned 500), anything over
+        ``MAX_BODY_BYTES`` is refused with 413 before a byte is read,
+        and the read itself is capped by the validated length -- never
+        an unbounded ``rfile.read()``.
+        """
+        declared = self.headers.get("Content-Length")
+        if declared is None:
+            return {}
+        try:
+            length = int(declared)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400, f"malformed Content-Length: {declared!r}"
+            ) from None
+        if length < 0:
+            raise ServiceError(
+                400, f"malformed Content-Length: {declared!r}"
+            )
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
         if length == 0:
             return {}
         raw = self.rfile.read(length)
@@ -154,7 +195,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             handled = self._route(method, path)
         except ServiceError as exc:
-            self._send_error(exc.status, exc.message)
+            self._send_error(exc.status, exc.message,
+                             retry_after=exc.retry_after)
+            return
+        except DriverBusy as exc:
+            self._send_error(429, str(exc), retry_after=exc.retry_after)
+            return
+        except DriverTimeout as exc:
+            self._send_error(503, str(exc), retry_after=5.0)
             return
         except DriverError as exc:
             self._send_error(409, str(exc))
@@ -205,6 +253,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, app.result())
             elif path == "/api/scenarios":
                 self._send_json(200, app.scenarios())
+            elif path == "/healthz":
+                self._send_json(200, app.healthz())
+            elif path == "/readyz":
+                status, doc = app.readyz()
+                self._send_json(
+                    status, doc,
+                    retry_after=2.0 if status != 200 else None,
+                )
             elif path == "/metrics":
                 text = app.metrics_text()
                 self._send(200, text.encode("utf-8"),
@@ -283,14 +339,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _serve_sse(self) -> None:
         """Stream driver/control events until the client disconnects.
 
-        Events are fanned out by the :class:`EventBus`; this thread only
-        formats and writes. Keepalive comments flow when idle so a dead
+        Events are fanned out by the :class:`EventBus` (owned by the
+        supervisor, so the stream survives driver recoveries); this
+        thread only formats and writes. Every event carries its
+        monotonic ``id:`` line, and a reconnecting client's
+        ``Last-Event-ID`` header replays the gap from the bus's ring
+        buffer -- or delivers an explicit ``reset`` marker when the gap
+        fell off the ring. Keepalive comments flow when idle so a dead
         client surfaces as a broken pipe within seconds, and
         ``Connection: close`` keeps HTTP/1.1 keep-alive from pinning the
         socket open after the stream ends.
         """
-        bus = self.app.driver.bus
-        subscription = bus.subscribe()
+        bus = self.app.bus
+        last_event_id: Optional[int] = None
+        raw_last = self.headers.get("Last-Event-ID")
+        if raw_last is not None:
+            try:
+                last_event_id = int(raw_last)
+            except (TypeError, ValueError):
+                last_event_id = None  # ignore garbage; serve from now
+        subscription = bus.subscribe(last_event_id=last_event_id)
         try:
             self.send_response(200)
             self.send_header("Content-Type", SSE_CONTENT_TYPE)
@@ -301,13 +369,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.wfile.flush()
             while not self.server.shutting_down.is_set():
                 try:
-                    doc = subscription.get(timeout=SSE_KEEPALIVE_SECONDS)
+                    eid, doc = subscription.get(
+                        timeout=SSE_KEEPALIVE_SECONDS
+                    )
                 except queue.Empty:
                     self.wfile.write(b": keepalive\n\n")
                     self.wfile.flush()
                     continue
                 payload = json.dumps(doc, sort_keys=True)
-                self.wfile.write(f"data: {payload}\n\n".encode("utf-8"))
+                if eid is not None:
+                    frame = f"id: {eid}\ndata: {payload}\n\n"
+                else:  # synthesized marker (e.g. replay reset): no id
+                    frame = f"data: {payload}\n\n"
+                self.wfile.write(frame.encode("utf-8"))
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError, OSError):
             pass  # client disconnected; unsubscribe below

@@ -1,11 +1,29 @@
-"""ServiceApp: the operations the REST API exposes, driver-mediated.
+"""ServiceApp: the operations the REST API exposes, supervisor-mediated.
 
 One layer below the HTTP handler and one above the driver: every public
-method validates its inputs, then submits a closure to the
+method validates its inputs, then submits a closure to the current
 :class:`~repro.service.driver.RealTimeDriver` so it executes on the
 simulation thread. The HTTP layer never touches experiment state
 directly, and the closures here are the *only* mutation paths besides
 the driver's own pacing.
+
+The app holds the :class:`~repro.service.supervisor.DriverSupervisor`,
+not a driver, because the driver is *replaceable*: after a recovery the
+supervisor swaps in a rebuilt one and requests keep flowing. Two
+consequences shape this module:
+
+- **Acts gate on readiness.** While the supervisor is recovering (or
+  parked in ``failed``), mutations are refused with a 503 +
+  ``Retry-After`` instead of being queued against a dead driver.
+- **Observes degrade instead of dying.** Every successful live read is
+  cached per view; when the driver is unavailable the cache is served
+  with ``"degraded": true`` stamped on it, so dashboards and probes
+  keep answering with last-known state through an entire recovery.
+
+Mutating acts flow through :func:`repro.service.wal.apply_act` and are
+appended to the supervisor's write-ahead log *after* they apply and
+*before* the HTTP 200 goes out -- the ack-after-durable contract the
+recovery replay depends on.
 
 Raises :class:`ServiceError` with an HTTP-ish status code for every
 anticipated failure (unknown group, fleet-only operation on a
@@ -16,69 +34,123 @@ pattern-matching message strings.
 from __future__ import annotations
 
 import logging
-from typing import Dict, Optional, Sequence
+import threading
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.faults.scenario import FaultScenario, builtin_scenarios
+from repro.faults.scenario import builtin_scenarios
 from repro.service import views
-from repro.service.driver import DriverError, RealTimeDriver
-from repro.service.harness import ExperimentHarness, HarnessError
+from repro.service.driver import DriverBusy, DriverError, DriverTimeout
+from repro.service.supervisor import DriverSupervisor
+from repro.service.wal import ActError, OPERATOR_EVENT_ID, apply_act
 
 logger = logging.getLogger(__name__)
 
-#: eventlog actor id for operator actions issued through the API (the
-#: breaker is -1, the fleet coordinator -2)
-OPERATOR_EVENT_ID = -3
+__all__ = ["OPERATOR_EVENT_ID", "ServiceApp", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
     """An API operation failed in an anticipated way."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class ServiceApp:
     """Everything the REST API can observe and do, in one place."""
 
-    def __init__(self, harness: ExperimentHarness,
-                 driver: RealTimeDriver) -> None:
-        self.harness = harness
-        self.driver = driver
+    def __init__(self, supervisor: DriverSupervisor) -> None:
+        self.supervisor = supervisor
+        self._cache_lock = threading.Lock()
+        self._view_cache: Dict[str, dict] = {}
+        self._metrics_cache: Optional[str] = None
+
+    # The driver and harness are *volatile*: recovery replaces both.
+    @property
+    def driver(self):
+        return self.supervisor.driver
+
+    @property
+    def harness(self):
+        return self.supervisor.harness
+
+    @property
+    def bus(self):
+        return self.supervisor.bus
 
     # ------------------------------------------------------------------
-    # Observe (read-only commands)
+    # Observe (read-only commands; degrade to cache when not ready)
     # ------------------------------------------------------------------
+    def _observe(self, key: str, build: Callable[[], object],
+                 label: Optional[str] = None):
+        supervisor = self.supervisor
+        if not supervisor.ready():
+            return self._cached(key)
+        try:
+            doc = supervisor.driver.read(
+                build,
+                label=label or key,
+                timeout=supervisor.config.read_timeout,
+            )
+        except (DriverBusy, DriverTimeout, DriverError):
+            # Dead, busy or mid-recovery driver: last-known view beats
+            # an error page for a read.
+            return self._cached(key)
+        if isinstance(doc, dict):
+            with self._cache_lock:
+                self._view_cache[key] = doc
+        return doc
+
+    def _cached(self, key: str) -> dict:
+        with self._cache_lock:
+            entry = self._view_cache.get(key)
+        if entry is None:
+            raise ServiceError(
+                503,
+                "service is recovering and has no cached view for "
+                f"{key!r} yet",
+                retry_after=2.0,
+            )
+        doc = dict(entry)
+        doc["degraded"] = True
+        return doc
+
     def status(self) -> dict:
-        return self.driver.status()
+        supervisor = self.supervisor
+        doc = self._observe("status", lambda: self.driver._status_doc())
+        doc = dict(doc)
+        doc["supervisor"] = supervisor.summary()
+        return doc
 
     def config(self) -> dict:
-        return self.driver.read(
-            lambda: views.config_doc(self.harness), label="config"
+        return self._observe(
+            "config", lambda: views.config_doc(self.harness)
         )
 
     def state(self) -> dict:
-        return self.driver.read(
-            lambda: views.state_doc(self.harness), label="state"
-        )
+        return self._observe("state", lambda: views.state_doc(self.harness))
 
     def group(self, name: str) -> dict:
-        doc = self.driver.read(
-            lambda: views.group_doc(self.harness, name), label="group"
+        doc = self._observe(
+            f"group:{name}",
+            lambda: views.group_doc(self.harness, name),
+            label="group",
         )
         if doc is None:
             raise ServiceError(404, f"unknown group {name!r}")
         return doc
 
     def controllers(self) -> dict:
-        return self.driver.read(
-            lambda: views.controllers_doc(self.harness), label="controllers"
+        return self._observe(
+            "controllers", lambda: views.controllers_doc(self.harness)
         )
 
     def ledger(self) -> dict:
-        doc = self.driver.read(
-            lambda: views.ledger_doc(self.harness), label="ledger"
+        doc = self._observe(
+            "ledger", lambda: views.ledger_doc(self.harness)
         )
         if doc is None:
             raise ServiceError(
@@ -87,31 +159,27 @@ class ServiceApp:
         return doc
 
     def events(self, limit: int = 100, kind: Optional[str] = None) -> dict:
-        return self.driver.read(
+        return self._observe(
+            f"events:{limit}:{kind}",
             lambda: views.events_doc(self.harness, limit=limit, kind=kind),
             label="events",
         )
 
     def series(self, window_seconds: float = 3600.0) -> dict:
-        return self.driver.read(
+        return self._observe(
+            f"series:{window_seconds}",
             lambda: views.series_doc(self.harness, window_seconds),
             label="series",
         )
 
     def safety(self) -> dict:
-        return self.driver.read(
-            lambda: views.safety_doc(self.harness), label="safety"
-        )
+        return self._observe("safety", lambda: views.safety_doc(self.harness))
 
     def faults(self) -> dict:
-        return self.driver.read(
-            lambda: views.faults_doc(self.harness), label="faults"
-        )
+        return self._observe("faults", lambda: views.faults_doc(self.harness))
 
     def audit(self) -> dict:
-        return self.driver.read(
-            lambda: views.audit_doc(self.harness), label="audit"
-        )
+        return self._observe("audit", lambda: views.audit_doc(self.harness))
 
     def result(self) -> dict:
         doc = self.driver.result_doc
@@ -120,13 +188,36 @@ class ServiceApp:
         return views.jsonsafe(doc)
 
     def metrics_text(self) -> str:
-        """The telemetry registry in Prometheus text format."""
+        """Both registries in Prometheus text format.
+
+        The harness registry (simulation metrics, pickled into
+        snapshots) is read on the sim thread; the supervisor's
+        service-plane registry (recoveries, checkpoints, WAL appends,
+        SSE drops) is lock-free to read and always available -- so
+        ``/metrics`` stays partially up even while recovering.
+        """
         from repro.telemetry import render_prometheus
 
-        return self.driver.read(
-            lambda: render_prometheus(self.harness.telemetry.registry),
-            label="metrics",
-        )
+        supervisor = self.supervisor
+        harness_text: Optional[str] = None
+        if supervisor.ready():
+            try:
+                harness_text = supervisor.driver.read(
+                    lambda: render_prometheus(self.harness.telemetry.registry),
+                    label="metrics",
+                    timeout=supervisor.config.read_timeout,
+                )
+                with self._cache_lock:
+                    self._metrics_cache = harness_text
+            except (DriverBusy, DriverTimeout, DriverError):
+                harness_text = None
+        if harness_text is None:
+            with self._cache_lock:
+                harness_text = self._metrics_cache or ""
+        service_text = render_prometheus(supervisor.registry)
+        if harness_text and not harness_text.endswith("\n"):
+            harness_text += "\n"
+        return harness_text + service_text
 
     def scenarios(self) -> dict:
         registry = builtin_scenarios()
@@ -137,61 +228,98 @@ class ServiceApp:
             }
         }
 
+    # -- probes ---------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness: the process is serving; says nothing about the sim."""
+        return {"ok": True, "state": self.supervisor.state}
+
+    def readyz(self) -> "tuple[int, dict]":
+        """Readiness: 200 only when acts would be accepted right now."""
+        supervisor = self.supervisor
+        reason = supervisor.not_ready_reason()
+        doc = {
+            "ready": reason is None,
+            "state": supervisor.state,
+            "recoveries": supervisor.recoveries,
+        }
+        if reason is not None:
+            doc["reason"] = reason
+            return 503, doc
+        return 200, doc
+
     # ------------------------------------------------------------------
-    # Act (mutating commands)
+    # Act (mutating commands; refused while not ready)
     # ------------------------------------------------------------------
+    def _require_ready(self) -> None:
+        supervisor = self.supervisor
+        reason = supervisor.not_ready_reason()
+        if reason is not None:
+            raise ServiceError(
+                503,
+                f"acts are disabled while degraded: {reason}",
+                retry_after=2.0,
+            )
+
     def pause(self) -> dict:
+        self._require_ready()
         return self.driver.pause()
 
     def resume(self) -> dict:
+        self._require_ready()
         try:
             return self.driver.resume()
+        except (DriverBusy, DriverTimeout):
+            raise
         except DriverError as exc:
             raise ServiceError(409, str(exc)) from exc
 
     def step(self, seconds: Optional[float] = None,
              until: Optional[float] = None) -> dict:
+        self._require_ready()
         try:
             return self.driver.step(seconds=seconds, until=until)
+        except (DriverBusy, DriverTimeout):
+            raise
         except DriverError as exc:
             raise ServiceError(409, str(exc)) from exc
 
     def finish(self) -> dict:
+        self._require_ready()
         try:
             return self.driver.finish()
+        except (DriverBusy, DriverTimeout):
+            raise
         except DriverError as exc:
             raise ServiceError(409, str(exc)) from exc
 
+    def _logged_act(self, op: str, payload: dict, label: str) -> dict:
+        """Apply one act on the sim thread and WAL it before acking."""
+        self._require_ready()
+        supervisor = self.supervisor
+        driver = supervisor.driver
+
+        def closure():
+            doc = apply_act(supervisor.harness, op, payload)
+            # Durable before the 200: a crash after this line replays
+            # the act; a crash before it never acknowledged anything.
+            supervisor.log_act(op, payload)
+            return doc
+
+        try:
+            return views.jsonsafe(
+                driver.act(
+                    closure, label=label,
+                    timeout=supervisor.config.act_timeout,
+                )
+            )
+        except ActError as exc:
+            raise ServiceError(exc.status, exc.message) from exc
+
     def freeze_group(self, name: str) -> dict:
-        return self._set_group_frozen(name, frozen=True)
+        return self._logged_act("freeze", {"group": name}, "freeze")
 
     def unfreeze_group(self, name: str) -> dict:
-        return self._set_group_frozen(name, frozen=False)
-
-    def _set_group_frozen(self, name: str, frozen: bool) -> dict:
-        def op():
-            groups = self.harness.groups()
-            if name not in groups:
-                raise ServiceError(404, f"unknown group {name!r}")
-            scheduler = self.harness.scheduler_for(name)
-            changed = 0
-            for server in groups[name].servers:
-                if server.failed or server.powered_off:
-                    continue
-                if frozen and not server.frozen:
-                    scheduler.freeze(server.server_id)
-                    changed += 1
-                elif not frozen and server.frozen:
-                    scheduler.unfreeze(server.server_id)
-                    changed += 1
-            return {
-                "group": name,
-                "action": "freeze" if frozen else "unfreeze",
-                "servers_changed": changed,
-                "sim_now": self.harness.engine.now,
-            }
-
-        return self.driver.act(op, label="freeze")
+        return self._logged_act("unfreeze", {"group": name}, "unfreeze")
 
     def set_budgets(self, allocations: Dict[str, float]) -> dict:
         """Reallocate row budgets through the ledger (fleet runs only).
@@ -201,62 +329,11 @@ class ServiceApp:
         feed ratings atomically -- an invalid division is rejected
         wholesale with a 422 and nothing changes.
         """
-        if not allocations:
+        if not isinstance(allocations, dict) or not allocations:
             raise ServiceError(400, "allocations must be a non-empty object")
-        try:
-            requested = {
-                str(name): float(watts)
-                for name, watts in allocations.items()
-            }
-        except (TypeError, ValueError) as exc:
-            raise ServiceError(
-                400, f"allocations must map row names to watts: {exc}"
-            ) from exc
-
-        def op():
-            from repro.fleet.ledger import LedgerError
-
-            ledger = self.harness.ledger
-            if ledger is None:
-                raise ServiceError(
-                    409, "no budget ledger: this is a single-row run"
-                )
-            merged = ledger.allocations()
-            unknown = sorted(set(requested) - set(merged))
-            if unknown:
-                raise ServiceError(404, f"unknown rows: {unknown}")
-            previous = dict(merged)
-            merged.update(requested)
-            try:
-                moved = ledger.apply(merged)
-            except LedgerError as exc:
-                raise ServiceError(422, f"ledger rejected: {exc}") from exc
-            controllers = self.harness.controllers()
-            changed = []
-            for row_name, watts in merged.items():
-                if watts == previous[row_name]:
-                    continue
-                controller = controllers.get(row_name)
-                if controller is not None:
-                    controller.update_budget(row_name, watts)
-                else:
-                    self.harness.groups()[row_name].power_budget_watts = watts
-                changed.append(
-                    f"{row_name}:{previous[row_name]:.0f}->{watts:.0f}"
-                )
-            self.harness.event_log.record(
-                "budget",
-                OPERATOR_EVENT_ID,
-                f"operator moved={moved:.0f}W " + " ".join(changed),
-            )
-            return {
-                "moved_watts": moved,
-                "changed": changed,
-                "allocations": merged,
-                "sim_now": self.harness.engine.now,
-            }
-
-        return views.jsonsafe(self.driver.act(op, label="budgets"))
+        return self._logged_act(
+            "reallocate", {"allocations": allocations}, "budgets"
+        )
 
     def arm_faults(self, scenario: Optional[str] = None,
                    spec: Optional[dict] = None) -> dict:
@@ -265,36 +342,17 @@ class ServiceApp:
         Window times in the scenario are interpreted relative to *now*
         (see :meth:`ExperimentHarness.arm_faults`).
         """
-        if (scenario is None) == (spec is None):
-            raise ServiceError(
-                400, "provide exactly one of 'scenario' (name) or 'spec'"
-            )
+        payload: Dict[str, object] = {}
         if scenario is not None:
-            registry = builtin_scenarios()
-            if scenario not in registry:
-                raise ServiceError(
-                    404,
-                    f"unknown scenario {scenario!r}; "
-                    f"known: {sorted(registry)}",
-                )
-            built = registry[scenario]
-        else:
-            try:
-                built = FaultScenario(**spec)
-            except (TypeError, ValueError) as exc:
-                raise ServiceError(400, f"invalid scenario spec: {exc}") from exc
-
-        def op():
-            try:
-                return self.harness.arm_faults(built)
-            except HarnessError as exc:
-                raise ServiceError(409, str(exc)) from exc
-
-        return views.jsonsafe(self.driver.act(op, label="arm-faults"))
+            payload["scenario"] = scenario
+        if spec is not None:
+            payload["spec"] = spec
+        return self._logged_act("arm-faults", payload, "arm-faults")
 
     def snapshot(self, path: str) -> dict:
         if not path:
             raise ServiceError(400, "snapshot needs a 'path'")
+        self._require_ready()
         try:
             return views.jsonsafe(self.driver.snapshot(path))
         except OSError as exc:
@@ -314,6 +372,3 @@ class ServiceApp:
 
         report = verify_snapshot_file(path, checks=checks)
         return views.jsonsafe(report.to_dict())
-
-
-__all__ = ["OPERATOR_EVENT_ID", "ServiceApp", "ServiceError"]

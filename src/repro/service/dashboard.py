@@ -55,6 +55,11 @@ DASHBOARD_HTML = """<!DOCTYPE html>
   .ladder.WARNING { background: var(--warn); }
   .ladder.CRITICAL { background: var(--crit); }
   .ladder.SHED { background: var(--shed); }
+  .sup { display: inline-block; padding: 1px 8px; border-radius: 3px;
+         color: #11151c; font-weight: bold; }
+  .sup.running { background: var(--ok); }
+  .sup.recovering, .sup.degraded { background: var(--warn); }
+  .sup.failed, .sup.stopped { background: var(--shed); }
   .masks { display: flex; flex-direction: column; gap: 8px; }
   .maskrow .label { color: var(--dim); margin-bottom: 2px; }
   .cells { display: flex; flex-wrap: wrap; gap: 2px; }
@@ -85,6 +90,8 @@ DASHBOARD_HTML = """<!DOCTYPE html>
   <span class="stat">progress <b id="h-prog">&ndash;</b></span>
   <span class="stat">facility <b id="h-fac">&ndash;</b></span>
   <span class="stat" id="h-state"></span>
+  <span class="stat">supervisor <span class="sup" id="h-sup">&ndash;</span></span>
+  <span class="stat" id="h-recov"></span>
 </header>
 <div id="grid">
   <div class="panel" style="grid-row: span 2">
@@ -113,7 +120,8 @@ DASHBOARD_HTML = """<!DOCTYPE html>
     <div class="masks" id="masks"></div>
   </div>
   <div class="panel" style="grid-column: 1 / -1">
-    <h2>control-plane events (live)</h2>
+    <h2>control-plane events (live)
+      <span id="h-drops" style="color:var(--dim)"></span></h2>
     <div id="log"></div>
   </div>
 </div>
@@ -276,6 +284,16 @@ async function refresh() {
     $("h-state").textContent = status.fatal ? "FATAL: " + status.fatal
       : status.finished ? "finished"
       : status.paused ? "paused" : "running";
+    const sup = status.supervisor || {};
+    const supEl = $("h-sup");
+    supEl.textContent = sup.state || "\\u2013";
+    supEl.className = "sup " + (sup.state || "");
+    $("h-recov").textContent = sup.recoveries
+      ? "recoveries " + sup.recoveries + "/" + sup.max_recoveries : "";
+    const perSub = status.events_dropped_by_subscriber || {};
+    const dropped = Object.values(perSub).reduce((a, b) => a + b,
+                                                 status.events_dropped || 0);
+    $("h-drops").textContent = dropped ? "(" + dropped + " dropped)" : "";
     renderGroups(state);
     renderCharts(series);
     await renderMasks(state);
@@ -308,6 +326,13 @@ function startEvents() {
       line.innerHTML = '<span class="t">t=' + fmtT(doc.time) +
         '</span> <span class="kind">' + doc.kind + "</span> #" +
         doc.server_id + " " + (doc.detail || "");
+    } else if (doc.type === "supervisor") {
+      line.innerHTML = '<span class="t">t=' + fmtT(doc.sim_now) +
+        '</span> <span class="kind" style="color:var(--warn)">supervisor' +
+        "</span> " + doc.action + (doc.reason ? ": " + doc.reason : "");
+    } else if (doc.type === "stream") {
+      line.innerHTML = '<span class="kind" style="color:var(--warn)">' +
+        "stream</span> reset (" + doc.missed_events + " events missed)";
     } else {
       line.innerHTML = '<span class="t">t=' + fmtT(doc.sim_now) +
         '</span> <span class="kind">driver</span> ' + doc.action;

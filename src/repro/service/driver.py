@@ -33,8 +33,18 @@ bounded by one slice even while a large step is in flight. Mutating
 commands that arrive mid-advance are deferred, in order, to the next
 slice boundary after the advance completes -- an act never lands inside
 an ``advance()`` call, which is also what keeps every boundary
-
 snapshot-safe.
+
+Supervision hooks (PR 9): the command queue is *bounded* and overflow
+raises :class:`DriverBusy` (the API maps it to ``429 Retry-After``); a
+caller whose :meth:`_Command.wait` times out marks the command
+*abandoned* so the sim thread skips its side effects instead of running
+acts nobody is waiting for; the sim thread stamps a wall-clock
+``heartbeat`` every loop iteration and every advance slice so the
+supervisor's watchdog can tell a hung engine from an idle one; and at
+each slice boundary the driver can hand a freshly encoded snapshot
+frame to the supervisor (``on_auto_snapshot``) for durable, verified
+checkpointing off-thread.
 """
 
 from __future__ import annotations
@@ -43,7 +53,8 @@ import logging
 import queue
 import threading
 import time
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.service.harness import ExperimentHarness
 
@@ -53,6 +64,10 @@ logger = logging.getLogger(__name__)
 DEFAULT_SLICE_SECONDS = 60.0
 #: default command-queue poll period for timed modes, in wall seconds
 DEFAULT_POLL_SECONDS = 0.02
+#: default bound on queued commands before submissions get DriverBusy
+DEFAULT_QUEUE_CAPACITY = 64
+#: default number of recent events kept for Last-Event-ID replay
+DEFAULT_RING_SIZE = 512
 
 MODES = ("manual", "realtime", "accelerated")
 
@@ -61,10 +76,23 @@ class DriverError(RuntimeError):
     """A driver command could not be executed."""
 
 
+class DriverBusy(DriverError):
+    """The command queue is full; retry after backing off."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DriverTimeout(DriverError):
+    """A submitted command did not complete within its deadline."""
+
+
 class _Command:
     """One closure to run on the sim thread, with a completion event."""
 
-    __slots__ = ("fn", "readonly", "label", "done", "result", "error")
+    __slots__ = ("fn", "readonly", "label", "done", "result", "error",
+                 "abandoned")
 
     def __init__(self, fn: Callable[[], object], readonly: bool, label: str):
         self.fn = fn
@@ -73,8 +101,14 @@ class _Command:
         self.done = threading.Event()
         self.result: object = None
         self.error: Optional[BaseException] = None
+        self.abandoned = False
 
     def run(self) -> None:
+        if self.abandoned:
+            # The waiter gave up; running the closure now would apply an
+            # act nobody is watching (and nobody would WAL-ack).
+            self.done.set()
+            return
         try:
             self.result = self.fn()
         except BaseException as exc:  # delivered to the waiting caller
@@ -84,51 +118,141 @@ class _Command:
 
     def wait(self, timeout: Optional[float]):
         if not self.done.wait(timeout):
-            raise DriverError(f"command {self.label!r} timed out")
+            self.abandoned = True
+            raise DriverTimeout(
+                f"command {self.label!r} timed out after {timeout}s"
+            )
         if self.error is not None:
             raise self.error
         return self.result
+
+
+class _Subscription:
+    """One SSE consumer: its event queue plus drop accounting."""
+
+    __slots__ = ("name", "queue", "dropped")
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        self.name = name
+        self.queue: "queue.Queue[Tuple[Optional[int], dict]]" = queue.Queue(
+            maxsize=maxsize
+        )
+        self.dropped = 0
+
+    def get(self, timeout: Optional[float] = None):
+        return self.queue.get(timeout=timeout)
 
 
 class EventBus:
     """Fan-out of driver/engine events to SSE subscribers.
 
     Publishing never blocks the sim thread: a subscriber whose queue is
-    full loses the event (counted, and visible in the status document)
-    rather than stalling the simulation.
+    full loses the event -- counted per subscriber (and, when a metrics
+    registry is attached, as the labeled
+    ``repro_service_events_dropped_total`` counter) rather than stalling
+    the simulation.
+
+    Every published event gets a monotonically increasing id, and the
+    bus keeps the last ``ring_size`` events. A subscriber reconnecting
+    with ``Last-Event-ID: n`` replays everything after ``n`` gap-free if
+    ``n`` is still inside the ring window; beyond it, the subscriber
+    first receives an id-less ``{"type": "stream", "action": "reset"}``
+    marker (carrying the count of unrecoverable events) and then the
+    full ring.
+
+    The bus deliberately outlives any one driver: the supervisor owns it
+    and hands it to each rebuilt driver, so event ids stay monotonic and
+    the replay ring stays intact across a recovery.
     """
 
-    def __init__(self, maxsize: int = 1000) -> None:
-        self._subscribers: List[queue.Queue] = []
+    def __init__(self, maxsize: int = 1000,
+                 ring_size: int = DEFAULT_RING_SIZE,
+                 registry=None) -> None:
+        if ring_size > maxsize:
+            raise ValueError(
+                f"ring_size {ring_size} must fit in a subscriber queue "
+                f"(maxsize {maxsize})"
+            )
+        self._maxsize = maxsize
+        self._subscribers: List[_Subscription] = []
         self._lock = threading.Lock()
+        self._ring: "deque[Tuple[int, dict]]" = deque(maxlen=ring_size)
+        self._next_id = 1
+        self._sub_serial = 0
         self.published = 0
         self.dropped = 0
+        self._registry = registry
 
-    def subscribe(self) -> queue.Queue:
-        q: queue.Queue = queue.Queue(maxsize=1000)
+    def subscribe(self, last_event_id: Optional[int] = None) -> _Subscription:
         with self._lock:
-            self._subscribers.append(q)
-        return q
+            self._sub_serial += 1
+            sub = _Subscription(f"sse-{self._sub_serial}", self._maxsize)
+            if last_event_id is not None and self._ring:
+                first_id = self._ring[0][0]
+                last_id = self._ring[-1][0]
+                if last_event_id >= last_id:
+                    pass  # already caught up (or claims future ids)
+                elif last_event_id >= first_id - 1:
+                    for eid, doc in self._ring:
+                        if eid > last_event_id:
+                            sub.queue.put_nowait((eid, doc))
+                else:
+                    missed = first_id - 1 - last_event_id
+                    sub.queue.put_nowait(
+                        (
+                            None,
+                            {
+                                "type": "stream",
+                                "action": "reset",
+                                "missed_events": missed,
+                            },
+                        )
+                    )
+                    for eid, doc in self._ring:
+                        sub.queue.put_nowait((eid, doc))
+            self._subscribers.append(sub)
+        return sub
 
-    def unsubscribe(self, q: queue.Queue) -> None:
+    def unsubscribe(self, sub: _Subscription) -> None:
         with self._lock:
-            if q in self._subscribers:
-                self._subscribers.remove(q)
+            if sub in self._subscribers:
+                self._subscribers.remove(sub)
 
     @property
     def subscriber_count(self) -> int:
         with self._lock:
             return len(self._subscribers)
 
+    @property
+    def last_event_id(self) -> int:
+        with self._lock:
+            return self._next_id - 1
+
+    def drops_by_subscriber(self) -> Dict[str, int]:
+        """Per-subscriber drop counts for the currently connected set."""
+        with self._lock:
+            return {sub.name: sub.dropped for sub in self._subscribers}
+
     def publish(self, doc: dict) -> None:
         with self._lock:
+            eid = self._next_id
+            self._next_id += 1
+            self._ring.append((eid, doc))
             subscribers = list(self._subscribers)
         self.published += 1
-        for q in subscribers:
+        for sub in subscribers:
             try:
-                q.put_nowait(doc)
+                sub.queue.put_nowait((eid, doc))
             except queue.Full:
                 self.dropped += 1
+                sub.dropped += 1
+                if self._registry is not None:
+                    self._registry.counter(
+                        "repro_service_events_dropped_total",
+                        "SSE events dropped because a subscriber queue "
+                        "was full",
+                        labels={"subscriber": sub.name},
+                    ).inc()
 
 
 class RealTimeDriver:
@@ -142,6 +266,12 @@ class RealTimeDriver:
         slice_seconds: float = DEFAULT_SLICE_SECONDS,
         poll_seconds: float = DEFAULT_POLL_SECONDS,
         clock: Callable[[], float] = time.monotonic,
+        bus: Optional[EventBus] = None,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        advance_hook: Optional[Callable[[float], None]] = None,
+        auto_snapshot_every: Optional[float] = None,
+        auto_snapshot_min_wall: float = 0.0,
+        on_auto_snapshot: Optional[Callable[[bytes, float], None]] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -151,6 +281,11 @@ class RealTimeDriver:
             raise ValueError(
                 f"slice_seconds must be positive, got {slice_seconds}"
             )
+        if queue_capacity < 0:
+            raise ValueError(
+                f"queue_capacity must be >= 0 (0 = unbounded), "
+                f"got {queue_capacity}"
+            )
         if mode == "realtime":
             speedup = 1.0
         self.harness = harness
@@ -159,7 +294,15 @@ class RealTimeDriver:
         self.slice_seconds = float(slice_seconds)
         self.poll_seconds = float(poll_seconds)
         self.clock = clock
-        self.bus = EventBus()
+        self.bus = bus if bus is not None else EventBus()
+        self.queue_capacity = int(queue_capacity)
+        self.advance_hook = advance_hook
+        self.auto_snapshot_every = (
+            float(auto_snapshot_every) if auto_snapshot_every else None
+        )
+        self.auto_snapshot_min_wall = float(auto_snapshot_min_wall)
+        self.on_auto_snapshot = on_auto_snapshot
+        self._last_snapshot_wall: Optional[float] = None
 
         self._queue: "queue.Queue[_Command]" = queue.Queue()
         self._deferred: List[_Command] = []
@@ -179,6 +322,10 @@ class RealTimeDriver:
         self._steps = 0
         self._commands_run = 0
         self._wall_started: Optional[float] = None
+        self._next_auto_snapshot: Optional[float] = None
+        #: wall-clock stamp of the sim thread's latest sign of life;
+        #: written by the sim thread, read by the supervisor's watchdog
+        self.heartbeat: float = self.clock()
 
     # ------------------------------------------------------------------
     # Lifecycle (called from the main / HTTP threads)
@@ -188,10 +335,33 @@ class RealTimeDriver:
         if self._thread.is_alive():
             raise DriverError("driver already started")
         self._wall_started = self.clock()
+        self.heartbeat = self.clock()
         self._thread.start()
         # Arm the experiment as the first command so construction errors
         # surface here, synchronously, not on a later request.
-        self.act(self._do_start, label="start")
+        self.act(self._do_start, label="start", force=True)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def fatal(self) -> Optional[str]:
+        return self._fatal
+
+    def heartbeat_age(self) -> float:
+        """Wall seconds since the sim thread last signalled progress."""
+        return max(0.0, self.clock() - self.heartbeat)
+
+    def abandon(self) -> None:
+        """Ask the sim thread to stop without waiting for it.
+
+        The supervisor's recovery path: a hung thread cannot be killed,
+        so it is signalled and *left behind* -- a fresh driver takes over
+        a fresh object graph, and the abandoned thread can at worst keep
+        mutating state nobody reads anymore.
+        """
+        self._stop.set()
 
     def shutdown(
         self, snapshot_path: Optional[str] = None, timeout: float = 60.0
@@ -216,7 +386,9 @@ class RealTimeDriver:
                 self._stop.set()
                 return size
 
-            written = self.act(_final, label="shutdown", timeout=timeout)
+            written = self.act(
+                _final, label="shutdown", timeout=timeout, force=True
+            )
         self._stop.set()
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - defensive
@@ -232,13 +404,25 @@ class RealTimeDriver:
         return self._submit(fn, readonly=True, label=label, timeout=timeout)
 
     def act(self, fn: Callable[[], object], label: str = "act",
-            timeout: float = 300.0):
+            timeout: float = 300.0, force: bool = False):
         """Run a mutating closure on the sim thread; return its result."""
-        return self._submit(fn, readonly=False, label=label, timeout=timeout)
+        return self._submit(
+            fn, readonly=False, label=label, timeout=timeout, force=force
+        )
 
-    def _submit(self, fn, readonly: bool, label: str, timeout: float):
+    def _submit(self, fn, readonly: bool, label: str, timeout: float,
+                force: bool = False):
         if not self._thread.is_alive():
             raise DriverError("driver is not running")
+        if (
+            not force
+            and self.queue_capacity
+            and self._queue.qsize() >= self.queue_capacity
+        ):
+            raise DriverBusy(
+                f"command queue full ({self.queue_capacity} in flight); "
+                f"retry {label!r} shortly"
+            )
         command = _Command(fn, readonly, label)
         self._queue.put(command)
         return command.wait(timeout)
@@ -247,10 +431,10 @@ class RealTimeDriver:
     # Control commands
     # ------------------------------------------------------------------
     def pause(self) -> dict:
-        return self.act(self._do_pause, label="pause")
+        return self.act(self._do_pause, label="pause", force=True)
 
     def resume(self) -> dict:
-        return self.act(self._do_resume, label="resume")
+        return self.act(self._do_resume, label="resume", force=True)
 
     def step(self, seconds: Optional[float] = None,
              until: Optional[float] = None) -> dict:
@@ -282,6 +466,7 @@ class RealTimeDriver:
     # ------------------------------------------------------------------
     def _loop(self) -> None:
         while not self._stop.is_set():
+            self.heartbeat = self.clock()
             block = not self._should_advance()
             try:
                 command = self._queue.get(
@@ -305,6 +490,9 @@ class RealTimeDriver:
             self._execute(command)
 
     def _execute(self, command: _Command) -> None:
+        if command.abandoned:
+            command.done.set()
+            return
         if self._advancing and not command.readonly:
             # An act arriving while an advance slices forward: defer to
             # the next boundary; order among deferred acts is preserved.
@@ -361,7 +549,11 @@ class RealTimeDriver:
                 if now >= target:
                     break
                 boundary = min(now + self.slice_seconds, target)
+                if self.advance_hook is not None:
+                    self.advance_hook(boundary)
                 self.harness.advance(boundary)
+                self.heartbeat = self.clock()
+                self._maybe_auto_snapshot()
                 self._publish_control_events()
                 self._drain_reads_mid_advance()
         except Exception as exc:
@@ -375,10 +567,56 @@ class RealTimeDriver:
             self._advancing = False
         self._run_deferred()
 
+    def _maybe_auto_snapshot(self) -> None:
+        """At a slice boundary, hand the supervisor a checkpoint frame.
+
+        Encoding happens here on the sim thread (the only place a
+        consistent frame exists); everything slow and fallible --
+        fsync'd write, restore-and-audit verification, rotation -- runs
+        on the supervisor's watchdog thread from the bytes handed over.
+        """
+        if self.auto_snapshot_every is None or self.on_auto_snapshot is None:
+            return
+        now = self.harness.engine.now
+        if self._next_auto_snapshot is None:
+            self._next_auto_snapshot = now + self.auto_snapshot_every
+            return
+        if now + 1e-9 < self._next_auto_snapshot:
+            return
+        if (
+            self.auto_snapshot_min_wall
+            and self._last_snapshot_wall is not None
+            and self.clock() - self._last_snapshot_wall
+            < self.auto_snapshot_min_wall
+        ):
+            # Wall-clock throttle: checkpoint cadence exists to bound the
+            # wall time a recovery loses, so when a manual-step run blasts
+            # through simulated time faster than real time there is no
+            # point encoding a frame at every sim-cadence tick. Re-arm
+            # and try again a cadence later.
+            self._next_auto_snapshot = now + self.auto_snapshot_every
+            return
+        self._last_snapshot_wall = self.clock()
+        try:
+            frame = self.harness.snapshot_bytes()
+            self.on_auto_snapshot(frame, now)
+        except Exception:
+            logger.exception("auto-snapshot failed; run continues unharmed")
+        self._next_auto_snapshot = now + self.auto_snapshot_every
+
     # -- command bodies (sim thread only) -------------------------------
     def _do_start(self) -> dict:
         if not self.harness.started:
             self.harness.start()
+        if (
+            self.auto_snapshot_every is not None
+            and self._next_auto_snapshot is None
+        ):
+            self._next_auto_snapshot = (
+                self.harness.engine.now + self.auto_snapshot_every
+            )
+            # The genesis checkpoint covers the first wall window.
+            self._last_snapshot_wall = self.clock()
         self._publish_driver_event("started")
         return self._status_doc()
 
@@ -431,6 +669,14 @@ class RealTimeDriver:
         if self._fatal is not None:
             raise DriverError(f"driver halted: {self._fatal}")
         if self._result is None:
+            # Slice the remaining distance to the horizon instead of one
+            # monolithic advance inside harness.finish(): identical
+            # trajectory (advance composes exactly), but heartbeats,
+            # auto-snapshots, reads and SSE events keep flowing while a
+            # long finish runs.
+            self._advance_toward(self.harness.end_seconds)
+            if self._fatal is not None:
+                raise DriverError(f"driver halted: {self._fatal}")
             result = self.harness.finish()
             self._result = result
             self._result_doc = self.harness.result_to_dict(result)
@@ -487,8 +733,13 @@ class RealTimeDriver:
             "progress": min(1.0, now / horizon) if horizon > 0 else 0.0,
             "steps": self._steps,
             "commands": self._commands_run,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.queue_capacity,
+            "heartbeat_age_seconds": self.heartbeat_age(),
             "events_published": self.bus.published,
             "events_dropped": self.bus.dropped,
+            "events_dropped_by_subscriber": self.bus.drops_by_subscriber(),
+            "last_event_id": self.bus.last_event_id,
             "subscribers": self.bus.subscriber_count,
             "wall_uptime_seconds": (
                 self.clock() - self._wall_started
@@ -498,4 +749,13 @@ class RealTimeDriver:
         }
 
 
-__all__ = ["DriverError", "EventBus", "RealTimeDriver", "MODES"]
+__all__ = [
+    "DEFAULT_QUEUE_CAPACITY",
+    "DEFAULT_RING_SIZE",
+    "DriverBusy",
+    "DriverError",
+    "DriverTimeout",
+    "EventBus",
+    "RealTimeDriver",
+    "MODES",
+]

@@ -87,6 +87,10 @@ class ExperimentHarness(abc.ABC):
     def save_snapshot(self, path: str) -> int:
         return self.experiment.save_snapshot(path)
 
+    def snapshot_bytes(self) -> bytes:
+        """Encode the live state as a durable frame (sim thread only)."""
+        return self.experiment.snapshot()
+
     def build_auditor(self, config=None):
         return self.experiment.build_auditor(config)
 

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -216,6 +216,28 @@ class StateAuditor:
         self._violations_counter = telemetry.counter(
             "repro_auditor_violations_total", "Invariant violations detected"
         )
+        self._escalation_hooks: List[Callable[[InvariantViolation], None]] = []
+
+    def add_escalation_hook(
+        self, hook: Callable[[InvariantViolation], None]
+    ) -> None:
+        """Notify ``hook`` whenever an ``"escalate"``-mode pass violates.
+
+        The service supervisor registers here to drop the API into
+        read-only degraded mode and trigger checkpoint recovery on
+        corrupted control state. Hooks are process-local runtime wiring:
+        they are excluded from pickled snapshots (see ``__getstate__``)
+        and must be re-registered on any restored auditor.
+        """
+        self._escalation_hooks.append(hook)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Hooks reference live supervisor machinery (threads, locks) and
+        # are re-registered after restore; dropping them keeps snapshot
+        # bytes identical whether or not a supervisor was attached.
+        state["_escalation_hooks"] = []
+        return state
 
     # ------------------------------------------------------------------
     def start(self, until: float, first_at: Optional[float] = None) -> None:
@@ -472,6 +494,11 @@ class StateAuditor:
         if self.config.on_violation == "escalate":
             for supervisor in self.supervisors:
                 supervisor.raise_alarm(str(violations[0]))
+            for hook in self._escalation_hooks:
+                try:
+                    hook(violations[0])
+                except Exception:  # a broken hook must not mask auditing
+                    logger.exception("auditor escalation hook failed")
 
     def stats_snapshot(self) -> AuditStats:
         return self.stats.snapshot()

@@ -143,6 +143,30 @@ def test_frame_rejects_truncation():
         decode_snapshot(data[:-10], "experiment")
 
 
+def test_canonical_pickle_dedups_equal_strings_by_value():
+    # Two equal-but-distinct strings must encode identically to two
+    # references to one string: restore round trips lose interning
+    # history, and snapshot byte-identity must not depend on it.
+    shared = "power-cap"
+    aliased = encode_snapshot([shared, shared], "experiment", {})
+    distinct = encode_snapshot(["power-cap", "POWER-CAP".lower()], "experiment", {})
+    assert aliased == distinct
+
+
+def test_canonical_pickle_survives_empty_numpy_buffer():
+    # Empty ndarray payloads reach the pickler through PickleBuffer ->
+    # save_bytes() directly, handing it the interned b"" singleton a
+    # second time; the pure-Python base pickler asserts on that
+    # (regression: the canonical pickler must tolerate and round-trip it).
+    numpy = pytest.importorskip("numpy")
+    payload = {"tag": b"", "column": numpy.zeros(0, dtype=numpy.float64)}
+    obj, _ = decode_snapshot(
+        encode_snapshot(payload, "experiment", {}), "experiment"
+    )
+    assert obj["tag"] == b""
+    assert obj["column"].shape == (0,)
+
+
 # ---------------------------------------------------------------------------
 # Atomic writes
 # ---------------------------------------------------------------------------
