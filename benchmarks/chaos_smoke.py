@@ -9,6 +9,8 @@ hazard injection must be crash-free and deterministic per seed.
 Scenarios that include coordinator-blackout windows run on the
 multi-row fleet harness (the only place a coordinator exists to black
 out); everything else runs the single-row controlled experiment.
+Scenarios with per-tenant surge windows (``tenant-skew``) enable the
+``three-tier`` tenant mix so the named tenants exist to surge against.
 
 Usage::
 
@@ -33,6 +35,7 @@ from repro.analysis.serialize import fleet_result_to_dict, result_to_dict
 from repro.sim.audit import AuditorConfig
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
+from repro.tenancy import builtin_mixes
 
 
 def _auditor_config(args: argparse.Namespace):
@@ -86,8 +89,10 @@ def run_fleet_once(scenario_name: str, args: argparse.Namespace) -> str:
 
 def run_once(scenario_name: str, args: argparse.Namespace) -> str:
     """One seeded run of the scenario; returns the serialized document."""
-    if builtin_scenarios()[scenario_name].coordinator_blackouts:
+    scenario = builtin_scenarios()[scenario_name]
+    if scenario.coordinator_blackouts:
         return run_fleet_once(scenario_name, args)
+    tenancy = builtin_mixes()["three-tier"] if scenario.tenant_surges else None
     config = ExperimentConfig(
         n_servers=args.servers,
         duration_hours=args.hours,
@@ -101,6 +106,7 @@ def run_once(scenario_name: str, args: argparse.Namespace) -> str:
         telemetry_enabled=True,
         engine_backend=args.engine_backend,
         auditor=_auditor_config(args),
+        tenancy=tenancy,
     )
     result = ControlledExperiment(config).run()
     return json.dumps(result_to_dict(result), sort_keys=False)

@@ -1,0 +1,154 @@
+"""Perf gate for multi-tenant power fairness (``repro.tenancy``).
+
+Tenancy rides the per-minute control loop: every tick the controller
+plans a freeze set, and with a tenant mix armed that seam runs the
+fairness-aware DRF planner plus the per-tenant accountant instead of the
+plain power-ordered sort. The contract, measured at 10k servers and
+written to ``BENCH_tenancy.json`` for CI to publish:
+
+* **Tick overhead** -- the tenancy-enabled freeze-planning path (fair
+  DRF plan + accountant event handling) must cost within **5%** of the
+  tenancy-blind baseline (``plan_freeze_set``) per control tick. The
+  fair planner ranks servers with one numpy lexsort and splits the
+  quota with a heap-based greedy, so in practice it undercuts the
+  object-path baseline rather than taxing it.
+* **State overhead** -- the tenant-id column adds one int64 per slot to
+  the columnar store (8 bytes/server), nothing per-object.
+
+Fairness semantics are pinned in ``tests/test_tenancy.py``; this file
+only pins the price.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.power import PowerModelParams
+from repro.cluster.state import ClusterState
+from repro.core.policy import plan_freeze_set
+from repro.durability.atomic import atomic_write_text
+from repro.sim.engine import Engine
+from repro.tenancy import (
+    FairShareFreezePolicy,
+    TenancyAccountant,
+    TenancyConfig,
+    TenantSpec,
+    assign_to_tenants,
+)
+
+N_SERVERS = 10_000
+N_FREEZE = 2_000
+TICKS = 9
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_tenancy.json"
+
+RESULTS: dict = {}
+
+
+def _mix() -> TenancyConfig:
+    return TenancyConfig(
+        tenants=(
+            TenantSpec("alpha", sla="critical", share=0.2),
+            TenantSpec("bravo", sla="standard", share=0.5),
+            TenantSpec("charlie", sla="batch", share=0.3),
+        )
+    )
+
+
+def _powers(rng: np.random.Generator) -> dict:
+    return {
+        sid: float(p)
+        for sid, p in enumerate(rng.uniform(100.0, 300.0, N_SERVERS))
+    }
+
+
+def _median_tick_seconds(tick, rng: np.random.Generator) -> float:
+    """Median wall-clock of one freeze-planning tick at steady state.
+
+    ``tick(powers, frozen) -> new_frozen`` runs outside-in like the
+    controller: fresh power readings every tick, the previous tick's
+    frozen set carried forward (so hysteresis churn, not a cold start,
+    is what gets timed).
+    """
+    frozen = tick(_powers(rng), set())  # warm-up: the cold first tick
+    samples = []
+    for _ in range(TICKS):
+        powers = _powers(rng)
+        started = time.perf_counter()
+        frozen = tick(powers, frozen)
+        samples.append(time.perf_counter() - started)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_perf_tenancy_tick_overhead_under_5pct_at_10k():
+    """Fair planning + accounting within 5% of the blind baseline."""
+    config = _mix()
+    tenant_of = assign_to_tenants(list(range(N_SERVERS)), config)
+
+    def blind_tick(powers, frozen):
+        return set(plan_freeze_set(powers, N_FREEZE, frozen).new_frozen)
+
+    policy = FairShareFreezePolicy(
+        tenant_of, config.weights(), config.names
+    )
+    accountant = TenancyAccountant(Engine(), config, tenant_of)
+
+    def fair_tick(powers, frozen):
+        plan = policy.plan(powers, N_FREEZE, frozen)
+        for sid in plan.to_freeze:
+            accountant.on_control_event("freeze", sid)
+        for sid in plan.to_unfreeze:
+            accountant.on_control_event("unfreeze", sid)
+        return set(plan.new_frozen)
+
+    blind_s = _median_tick_seconds(blind_tick, np.random.default_rng(7))
+    fair_s = _median_tick_seconds(fair_tick, np.random.default_rng(7))
+    overhead = fair_s / blind_s - 1.0
+    RESULTS["tick"] = {
+        "n_servers": N_SERVERS,
+        "n_freeze": N_FREEZE,
+        "ticks_timed": TICKS,
+        "blind_ms_per_tick": round(blind_s * 1e3, 3),
+        "fair_ms_per_tick": round(fair_s * 1e3, 3),
+        "overhead_pct": round(overhead * 100.0, 1),
+    }
+    print(
+        f"\n10k-server freeze tick: blind {blind_s * 1e3:.2f} ms, "
+        f"fair+accounting {fair_s * 1e3:.2f} ms "
+        f"-> {overhead * 100.0:+.1f}%"
+    )
+    assert overhead < 0.05, (
+        f"tenancy adds {overhead:.1%} per control tick at {N_SERVERS} "
+        f"servers ({fair_s * 1e3:.2f} ms vs {blind_s * 1e3:.2f} ms); "
+        "budget is 5%"
+    )
+
+
+def test_perf_tenant_column_is_8_bytes_per_slot():
+    """The tenant-id column costs one int64 per slot, nothing more."""
+    params = PowerModelParams()
+    state = ClusterState(capacity=N_SERVERS)
+    for i in range(N_SERVERS):
+        state.add_server(i, 16, 64.0, params, 0.05)
+    state.set_tenant(np.arange(0, N_SERVERS, 3), 1)
+    per_slot = state.tenant_ids.nbytes / len(state.tenant_ids)
+    RESULTS["state"] = {
+        "tenant_column_bytes_per_slot": per_slot,
+        "total_bytes_per_server": round(state.bytes_per_server(), 1),
+    }
+    print(
+        f"\ntenant column: {per_slot:.0f} B/slot of "
+        f"{state.bytes_per_server():.0f} B/server total"
+    )
+    assert per_slot == 8.0
+
+
+def test_perf_write_artifact():
+    """Persist the measurements for the CI artifact (runs last)."""
+    assert "tick" in RESULTS and "state" in RESULTS, (
+        "artifact test must run after the measurement tests (pytest "
+        "runs this file top to bottom)"
+    )
+    atomic_write_text(ARTIFACT, json.dumps(RESULTS, indent=2) + "\n")
+    print(f"\nwrote {ARTIFACT}")

@@ -95,6 +95,11 @@ def result_to_dict(
         payload["safety"] = _jsonable(result.safety_stats.snapshot())
     if result.facility is not None:
         payload["facility"] = _jsonable(result.facility)
+    # Tenancy stats only appear for multi-tenant runs, keeping documents
+    # from untenanted runs byte-stable (the config's ``tenancy: null`` is
+    # additive and serializes via _jsonable like every other field).
+    if result.tenancy is not None:
+        payload["tenancy"] = _jsonable(result.tenancy)
     return payload
 
 
@@ -124,6 +129,11 @@ def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
         "ledger": _jsonable(result.ledger),
         "coordinator": _jsonable(result.coordinator_stats),
         "faults": _jsonable(result.fault_stats),
+        **(
+            {"tenancy": _jsonable(result.tenancy)}
+            if result.tenancy is not None
+            else {}
+        ),
     }
 
 
@@ -183,6 +193,16 @@ def campaign_row_to_dict(row: CampaignRow) -> Dict[str, Any]:
         "jobs_shed": row.jobs_shed,
         "frozen_server_minutes": row.frozen_server_minutes,
         "reallocations": row.reallocations,
+        # Tenancy columns are emitted only for tenanted cells so the
+        # golden campaign fixture (untenanted) stays byte-identical.
+        **(
+            {
+                "tenancy_policy": row.tenancy_policy,
+                "jain_index": row.jain_index,
+            }
+            if row.tenancy_policy is not None
+            else {}
+        ),
         "error": row.error,
     }
 
@@ -200,6 +220,8 @@ def campaign_row_from_dict(doc: Dict[str, Any]) -> CampaignRow:
         jobs_shed=doc.get("jobs_shed", 0),
         frozen_server_minutes=doc.get("frozen_server_minutes", 0.0),
         reallocations=doc.get("reallocations", 0),
+        tenancy_policy=doc.get("tenancy_policy"),
+        jain_index=doc.get("jain_index"),
         error=doc.get("error"),
     )
 

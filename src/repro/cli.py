@@ -10,6 +10,7 @@ Exposes the main experiment harnesses without writing Python::
     ampere-repro trace --days 1
     ampere-repro fleet --hours 6 --policies static demand-following
     ampere-repro campaign --fleet-policy demand-following --hours 6
+    ampere-repro tenancy-ab --tenants critical-batch --hours 3
     ampere-repro campaign --checkpoint-dir ck/ --resume
     ampere-repro metrics --hours 2 --json snapshot.json
     ampere-repro spans --hours 2
@@ -23,6 +24,11 @@ the defense-in-depth emergency ladder of :mod:`repro.core.safety`.
 multi-row facility A/B of :mod:`repro.sim.fleet_experiment` -- the same
 seeded fleet under each budget-reallocation policy -- and ``campaign
 --fleet-policy`` runs every campaign cell on the two-row fleet harness.
+``tenancy-ab``
+runs the same seeded multi-tenant cell under the ``blind`` and ``fair``
+freeze policies and reports the per-tenant fairness delta; ``--tenants``
+on ``experiment``/``fleet``/``campaign``/``serve`` tags the run with one
+of the builtin tenant mixes of :mod:`repro.tenancy`.
 ``metrics``
 and ``spans`` run a telemetry-enabled experiment and expose the
 :mod:`repro.telemetry` registry and control-loop span traces; the global
@@ -37,6 +43,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.report import format_percent, render_table
@@ -45,9 +52,15 @@ from repro.durability.atomic import atomic_write_text
 from repro.sim.audit import ALL_CHECKS as AUDIT_CHECKS
 from repro.faults.scenario import builtin_scenarios
 from repro.fleet.config import POLICY_NAMES
-from repro.sim.experiment import ControlledExperiment, ExperimentConfig, ExperimentResult
+from repro.sim.experiment import (
+    ControlledExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+    run_tenancy_ab,
+)
 from repro.sim.testbed import WorkloadSpec
 from repro.telemetry import configure_logging
+from repro.tenancy import TENANCY_POLICIES, TenancyConfig, builtin_mixes
 
 LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
 
@@ -59,12 +72,45 @@ WORKLOADS = {
 
 SCENARIOS = builtin_scenarios()
 
+MIXES = builtin_mixes()
+
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     parser.add_argument(
         "--servers", type=int, default=400, help="fleet size (multiple of 40)"
     )
+
+
+def _add_tenancy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tenants",
+        choices=sorted(MIXES),
+        default=None,
+        metavar="MIX",
+        help="tag the run with a builtin tenant mix "
+        f"({', '.join(sorted(MIXES))}; default: untenanted)",
+    )
+    parser.add_argument(
+        "--tenancy-policy",
+        choices=TENANCY_POLICIES,
+        default=None,
+        help="freeze-fairness policy for the tenant mix "
+        "(default: the mix's own, 'fair')",
+    )
+
+
+def _tenancy_config(args: argparse.Namespace) -> Optional[TenancyConfig]:
+    """The TenancyConfig implied by --tenants/--tenancy-policy (or None)."""
+    if getattr(args, "tenants", None) is None:
+        if getattr(args, "tenancy_policy", None) is not None:
+            raise SystemExit("error: --tenancy-policy requires --tenants")
+        return None
+    config = MIXES[args.tenants]
+    policy = getattr(args, "tenancy_policy", None)
+    if policy is not None and policy != config.policy:
+        config = replace(config, policy=policy)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the breaker model and the emergency safety ladder "
         "(repro.core.safety)",
     )
+    _add_tenancy_args(experiment)
     experiment.add_argument(
         "--save-snapshot",
         type=str,
@@ -220,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cold-row intensity as a fraction of the cell workload "
         "(fleet cells only)",
     )
+    _add_tenancy_args(campaign)
     campaign.add_argument(
         "--checkpoint-dir",
         type=str,
@@ -306,6 +354,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the per-policy result documents to PATH",
+    )
+    _add_tenancy_args(fleet)
+
+    tenancy_ab = sub.add_parser(
+        "tenancy-ab",
+        help="seeded A/B of the blind vs fair freeze policies on one "
+        "tenant mix (repro.tenancy)",
+    )
+    _add_common(tenancy_ab)
+    tenancy_ab.add_argument("--hours", type=float, default=3.0)
+    tenancy_ab.add_argument(
+        "--warmup-hours", type=float, default=0.5,
+        help="warm-up before monitoring/control begin",
+    )
+    tenancy_ab.add_argument(
+        "--ro", type=float, default=0.25, help="over-provision ratio"
+    )
+    tenancy_ab.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="heavy"
+    )
+    tenancy_ab.add_argument(
+        "--tenants",
+        choices=sorted(MIXES),
+        default="critical-batch",
+        metavar="MIX",
+        help=f"tenant mix to A/B on ({', '.join(sorted(MIXES))})",
     )
 
     metrics = sub.add_parser(
@@ -403,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="demand-following",
         help="reallocation policy of the served fleet run",
     )
+    _add_tenancy_args(serve)
     serve.add_argument(
         "--golden",
         action="store_true",
@@ -563,6 +638,36 @@ def _print_safety_report(result: ExperimentResult) -> None:
         )
 
 
+def _print_tenancy_report(stats) -> None:
+    """Per-tenant fairness summary of one run (if tenanted)."""
+    if stats is None:
+        return
+    print(
+        f"\ntenancy ({stats.policy}): "
+        f"Jain fairness index = {stats.jain_index:.4f}"
+    )
+    rows = [
+        [
+            tenant.name,
+            tenant.sla,
+            f"{tenant.share:.2f}",
+            str(tenant.n_servers),
+            f"{tenant.frozen_server_minutes:.0f}",
+            f"{tenant.normalized_frozen:.0f}",
+            str(tenant.freeze_events),
+            str(tenant.shed_events),
+        ]
+        for tenant in stats.tenants
+    ]
+    print(
+        render_table(
+            ["tenant", "sla", "share", "servers", "frozen (srv-min)",
+             "normalized", "freezes", "shed"],
+            rows,
+        )
+    )
+
+
 # ---------------------------------------------------------------------------
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.core.safety import SafetyConfig
@@ -578,6 +683,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=SCENARIOS[args.faults] if args.faults else None,
         safety=SafetyConfig() if args.safety else None,
+        tenancy=_tenancy_config(args),
     )
     experiment = ControlledExperiment(config)
     result = experiment.run()
@@ -591,6 +697,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     _print_facility_line(result)
     _print_fault_report(result)
     _print_safety_report(result)
+    _print_tenancy_report(result.tenancy)
     if args.save_snapshot:
         experiment.save_snapshot(args.save_snapshot)
         print(f"snapshot written to {args.save_snapshot}", file=sys.stderr)
@@ -733,6 +840,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         safety=SafetyConfig() if args.safety else None,
         fleet=fleet,
         fleet_skew=args.fleet_skew,
+        tenancy=_tenancy_config(args),
     )
     workers: Optional[int] = args.workers
     if workers is not None and workers < 1:
@@ -788,8 +896,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "r_O", "workload", "P_mean", "u_mean", "frozen (srv-min)",
             "reallocs", "violations", "trips",
         ]
-        rows = [
-            [
+        if args.tenants:
+            headers.append("jain")
+        rows = []
+        for row in result.rows:
+            cells = [
                 f"{row.cell.over_provision_ratio:.2f}",
                 row.cell.workload_name,
                 f"{row.p_mean:.3f}",
@@ -799,13 +910,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 str(row.violations),
                 str(row.trips),
             ]
-            for row in result.rows
-        ]
+            if args.tenants:
+                cells.append(
+                    f"{row.jain_index:.4f}"
+                    if row.jain_index is not None else "n/a"
+                )
+            rows.append(cells)
         print(render_table(headers, rows))
     else:
         headers = ["r_O", "workload", "P_mean", "u_mean", "r_T", "G_TPW", "violations"]
         if args.safety:
             headers += ["trips", "shed"]
+        if args.tenants:
+            headers.append("jain")
         rows = []
         for row in result.rows:
             cells = [
@@ -819,6 +936,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             ]
             if args.safety:
                 cells += [str(row.trips), str(row.jobs_shed)]
+            if args.tenants:
+                cells.append(
+                    f"{row.jain_index:.4f}"
+                    if row.jain_index is not None else "n/a"
+                )
             rows.append(cells)
         print(render_table(headers, rows))
         try:
@@ -859,6 +981,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         warmup_hours=min(1.0, args.hours / 4.0),
         over_provision_ratio=args.ro,
         seed=args.seed,
+        tenancy=_tenancy_config(args),
     )
     results = run_fleet_ab(config, policies=tuple(args.policies))
     rows = []
@@ -891,6 +1014,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             f"budget={facility.budget_watts:.0f} W  "
             f"violations={facility.violations}"
         )
+        if result.tenancy is not None:
+            print(
+                f"  tenancy ({result.tenancy.policy}): "
+                f"Jain index = {result.tenancy.jain_index:.4f}"
+            )
     if args.json:
         import json
 
@@ -902,6 +1030,43 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         }
         atomic_write_text(args.json, json.dumps(payload, indent=2))
         print(f"results written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_tenancy_ab(args: argparse.Namespace) -> int:
+    from repro.core.safety import SafetyConfig
+
+    config = ExperimentConfig(
+        n_servers=args.servers,
+        duration_hours=args.hours,
+        warmup_hours=args.warmup_hours,
+        over_provision_ratio=args.ro,
+        workload=WORKLOADS[args.workload](),
+        scale_control_budget=False,
+        seed=args.seed,
+        # The breaker ladder is armed so "fairness did not cost safety"
+        # is part of the printed comparison, matching the pinned test.
+        safety=SafetyConfig(),
+        tenancy=MIXES[args.tenants],
+    )
+    results = run_tenancy_ab(config)
+    for policy, result in results.items():
+        trips = (
+            result.breaker_stats.trips
+            if result.breaker_stats is not None
+            else 0
+        )
+        print(
+            f"policy={policy}: r_T={result.r_t:.3f}  "
+            f"G_TPW={format_percent(result.g_tpw)}  trips={trips}"
+        )
+        _print_tenancy_report(result.tenancy)
+        print()
+    delta = (
+        results["fair"].tenancy.jain_index
+        - results["blind"].tenancy.jain_index
+    )
+    print(f"Jain index delta (fair - blind): {delta:+.4f}")
     return 0
 
 
@@ -1082,6 +1247,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             faults=SCENARIOS[args.faults] if args.faults else None,
             telemetry_enabled=not args.no_telemetry,
             auditor=AuditorConfig() if args.audit else None,
+            tenancy=_tenancy_config(args),
         )
         experiment = FleetExperiment(fleet_config)
     else:
@@ -1097,6 +1263,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             safety=SafetyConfig() if args.safety else None,
             telemetry_enabled=not args.no_telemetry,
             auditor=AuditorConfig() if args.audit else None,
+            tenancy=_tenancy_config(args),
         )
         experiment = ControlledExperiment(config)
 
@@ -1154,6 +1321,7 @@ COMMANDS = {
     "advise": cmd_advise,
     "campaign": cmd_campaign,
     "fleet": cmd_fleet,
+    "tenancy-ab": cmd_tenancy_ab,
     "metrics": cmd_metrics,
     "spans": cmd_spans,
     "verify-snapshot": cmd_verify_snapshot,

@@ -154,6 +154,15 @@ class Server:
     def jobs_completed(self, value: int) -> None:
         self._state.jobs_completed[self._index] = value
 
+    @property
+    def tenant_id(self) -> int:
+        """Tenant ordinal tag (0 = untenanted; see ClusterState.set_tenant)."""
+        return int(self._state.tenant_ids[self._index])
+
+    @tenant_id.setter
+    def tenant_id(self, value: int) -> None:
+        self._state.set_tenant(self._index, int(value))
+
     def _invalidate_power(self) -> None:
         self._state.power_valid[self._index] = False
 

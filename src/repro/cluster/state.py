@@ -139,7 +139,7 @@ class ClusterState:
         "power_cache",
     )
     _BOOL_COLUMNS = ("frozen", "failed", "powered_off", "power_valid")
-    _INT_COLUMNS = ("server_ids", "jobs_started", "jobs_completed")
+    _INT_COLUMNS = ("server_ids", "jobs_started", "jobs_completed", "tenant_ids")
 
     def __init__(self, capacity: int = 8, backend: Optional[str] = None) -> None:
         if capacity < 1:
@@ -320,6 +320,23 @@ class ClusterState:
     def set_frozen(self, indices, frozen: bool) -> None:
         """Mask-apply freeze/unfreeze (power-neutral, cache untouched)."""
         self.frozen[indices] = frozen
+
+    def set_tenant(self, indices, tenant_id: int) -> None:
+        """Tag slots with a tenant ordinal (0 = untenanted, the default).
+
+        Tenant ids are 1-based positions in the run's
+        :class:`~repro.tenancy.TenancyConfig` tenant order; the mapping
+        back to names lives with the config, keeping the hot columns
+        free of Python objects. Tagging is observational only -- no hot
+        loop branches on it -- so writes never invalidate power.
+        """
+        if tenant_id < 0:
+            raise ValueError(f"tenant_id must be non-negative, got {tenant_id}")
+        self.tenant_ids[indices] = tenant_id
+
+    def tenant_counts(self, indices: np.ndarray) -> "np.ndarray":
+        """Occurrences of each tenant ordinal among ``indices`` (bincount)."""
+        return np.bincount(self.tenant_ids[indices])
 
     # ------------------------------------------------------------------
     # Introspection

@@ -63,7 +63,7 @@ from repro.core.config import AmpereConfig
 from repro.core.demand import ConstantDemandEstimator, DemandEstimator
 from repro.core.history import BoundedHistory
 from repro.core.freeze_model import FreezeEffectModel
-from repro.core.policy import plan_freeze_set
+from repro.core.policy import FreezePolicy, plan_freeze_set
 from repro.core.rhc import pcp_optimal_sequence, spcp_optimal_ratio, threshold_ratio
 from repro.monitor.power_monitor import PowerMonitor
 from repro.scheduler.base import SchedulerInterface, SchedulerRpcError
@@ -252,6 +252,11 @@ class AmpereController:
         The f(u) model providing k_r.
     demand_estimator:
         E_t provider; defaults to a constant conservative margin.
+    freeze_policy:
+        Pluggable freeze-set selection (:class:`~repro.core.policy.FreezePolicy`).
+        ``None`` keeps the paper's power-ordered :func:`plan_freeze_set`
+        bit-identically; the tenancy subsystem installs
+        :class:`~repro.tenancy.FairShareFreezePolicy` here.
     """
 
     def __init__(
@@ -264,6 +269,7 @@ class AmpereController:
         freeze_model: Optional[FreezeEffectModel] = None,
         demand_estimator: Optional[DemandEstimator] = None,
         telemetry: Optional[Telemetry] = None,
+        freeze_policy: Optional[FreezePolicy] = None,
     ) -> None:
         self.engine = engine
         self.scheduler = scheduler
@@ -275,6 +281,7 @@ class AmpereController:
             if demand_estimator is not None
             else ConstantDemandEstimator(config.default_e_t)
         )
+        self.freeze_policy = freeze_policy
         self.telemetry = (
             telemetry
             if telemetry is not None
@@ -531,9 +538,14 @@ class AmpereController:
                 sid: (value if math.isfinite(value) else 0.0)
                 for sid, value in powers.items()
             }
-            plan = plan_freeze_set(
-                powers, n_freeze, currently_frozen, self.config.r_stable
-            )
+            if self.freeze_policy is not None:
+                plan = self.freeze_policy.plan(
+                    powers, n_freeze, currently_frozen, self.config.r_stable
+                )
+            else:
+                plan = plan_freeze_set(
+                    powers, n_freeze, currently_frozen, self.config.r_stable
+                )
             achieved: Set[int] = set(currently_frozen)
             for server_id in sorted(plan.to_unfreeze):
                 if self._rpc(state, "unfreeze", server_id, now):

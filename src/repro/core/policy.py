@@ -12,6 +12,7 @@ floor, which prevents freeze/unfreeze flapping on noisy readings.
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set
 
@@ -117,4 +118,53 @@ def plan_freeze_set(
     )
 
 
-__all__ = ["FreezePlan", "plan_freeze_set"]
+class FreezePolicy(abc.ABC):
+    """Pluggable freeze-set selection strategy.
+
+    The controller calls :meth:`plan` once per control interval with the
+    same inputs :func:`plan_freeze_set` takes. Implementations must be
+    deterministic (no RNG, no wall clock) and must return a plan with
+    ``len(new_frozen) == min(n_freeze, len(server_powers))`` -- the
+    controller turns the plan into freeze/unfreeze RPCs verbatim.
+
+    Policies may carry state between calls (e.g. per-tenant cumulative
+    frozen time); that state is pickled with the controller, so a
+    restored snapshot resumes byte-identically.
+    """
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        server_powers: Dict[int, float],
+        n_freeze: int,
+        currently_frozen: Set[int],
+        r_stable: float = 0.8,
+    ) -> FreezePlan:
+        """Select the next frozen set for one row."""
+
+
+class PowerOrderedFreezePolicy(FreezePolicy):
+    """The paper's tenancy-blind policy: delegate to :func:`plan_freeze_set`.
+
+    This is the default installed by the controller when no policy is
+    given, and it is bit-identical to calling the function directly --
+    the class exists only so fairness-aware policies can slot into the
+    same seam.
+    """
+
+    def plan(
+        self,
+        server_powers: Dict[int, float],
+        n_freeze: int,
+        currently_frozen: Set[int],
+        r_stable: float = 0.8,
+    ) -> FreezePlan:
+        return plan_freeze_set(server_powers, n_freeze, currently_frozen, r_stable)
+
+
+__all__ = [
+    "FreezePlan",
+    "FreezePolicy",
+    "PowerOrderedFreezePolicy",
+    "plan_freeze_set",
+]

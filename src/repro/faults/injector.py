@@ -54,6 +54,7 @@ class FaultStats:
     rpc_failures: int = 0
     crashes_injected: int = 0
     surge_windows: int = 0
+    tenant_surge_windows: int = 0
     sensor_bias_windows: int = 0
     server_failures: int = 0
     server_repairs: int = 0
@@ -81,6 +82,7 @@ class FaultInjector:
         self.coordinator_blackouts_injected = 0
         self.crashes_injected = 0
         self.surges_applied = 0
+        self.tenant_surges_applied = 0
         self._armed = False
 
     # ------------------------------------------------------------------
@@ -126,6 +128,26 @@ class FaultInjector:
             return profile
         self.surges_applied = len(self.scenario.surges)
         return SurgeRateProfile(profile, self.scenario.surges)
+
+    def wrap_rate_profile_for_tenant(
+        self, profile: RateProfile, tenant: str
+    ) -> RateProfile:
+        """Layer the scenario's surges *for one tenant* over its profile.
+
+        Tenancy-enabled runs call this once per tenant generator, after
+        the shared :meth:`wrap_rate_profile` surges have been applied to
+        the row-level profile. Pure and RNG-free like the shared wrap;
+        windows naming other tenants are ignored.
+        """
+        windows = tuple(
+            (start, duration, factor)
+            for name, start, duration, factor in self.scenario.tenant_surges
+            if name == tenant
+        )
+        if not windows:
+            return profile
+        self.tenant_surges_applied += len(windows)
+        return SurgeRateProfile(profile, windows)
 
     # ------------------------------------------------------------------
     # Arming (run time)
@@ -283,6 +305,7 @@ class FaultInjector:
             rpc_failures=self.flaky.stats.failures if self.flaky is not None else 0,
             crashes_injected=self.crashes_injected,
             surge_windows=self.surges_applied,
+            tenant_surge_windows=self.tenant_surges_applied,
             sensor_bias_windows=(
                 self.monitor.bias_windows_applied if self.monitor is not None else 0
             ),

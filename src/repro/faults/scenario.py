@@ -83,6 +83,11 @@ class FaultScenario:
         arrival rate is multiplied by ``factor`` inside the window (a
         product launch, a retry storm). Demand hits every group drawing
         from the shared pool.
+    tenant_surges:
+        ``(tenant, start, duration, factor)`` windows multiplying only
+        one tenant's arrival rate -- a single customer's launch or retry
+        storm. No-op unless the run is tenancy-enabled and has a tenant
+        of that name; windows for the same tenant must not overlap.
     sensor_bias:
         ``(start, duration, factor)`` IPMI miscalibration windows: every
         power reading the monitoring plane serves is multiplied by
@@ -118,6 +123,7 @@ class FaultScenario:
     crash_times: Tuple[float, ...] = ()
     restart_delay_seconds: float = 120.0
     surges: Tuple[Tuple[float, float, float], ...] = ()
+    tenant_surges: Tuple[Tuple[str, float, float, float], ...] = ()
     sensor_bias: Tuple[Tuple[float, float, float], ...] = ()
     server_mtbf_hours: float = 0.0
     server_mttr_minutes: float = 60.0
@@ -143,6 +149,14 @@ class FaultScenario:
         )
         object.__setattr__(
             self,
+            "tenant_surges",
+            tuple(
+                (str(t), float(s), float(d), float(f))
+                for t, s, d, f in self.tenant_surges
+            ),
+        )
+        object.__setattr__(
+            self,
             "sensor_bias",
             tuple((float(s), float(d), float(f)) for s, d, f in self.sensor_bias),
         )
@@ -159,6 +173,11 @@ class FaultScenario:
         _check_windows("blackout", self.blackouts)
         _check_windows("coordinator_blackout", self.coordinator_blackouts)
         _check_windows("surge", [(s, d) for s, d, _ in self.surges])
+        for tenant in {t for t, _, _, _ in self.tenant_surges}:
+            _check_windows(
+                f"tenant_surge[{tenant}]",
+                [(s, d) for t, s, d, _ in self.tenant_surges if t == tenant],
+            )
         _check_windows("sensor_bias", [(s, d) for s, d, _ in self.sensor_bias])
         _check_windows("crash_storm", [(s, d) for s, d, _ in self.crash_storms])
         if not 0.0 <= self.rpc_failure_rate < 1.0:
@@ -182,6 +201,13 @@ class FaultScenario:
         for _, _, factor in self.surges:
             if factor <= 0:
                 raise ValueError(f"surge factor must be positive, got {factor}")
+        for tenant, _, _, factor in self.tenant_surges:
+            if not tenant:
+                raise ValueError("tenant_surges need a non-empty tenant name")
+            if factor <= 0:
+                raise ValueError(
+                    f"tenant_surge factor must be positive, got {factor}"
+                )
         for _, _, factor in self.sensor_bias:
             if factor <= 0:
                 raise ValueError(
@@ -232,6 +258,9 @@ class FaultScenario:
             crash_times=tuple(t + off for t in self.crash_times),
             restart_delay_seconds=self.restart_delay_seconds,
             surges=tuple((s + off, d, f) for s, d, f in self.surges),
+            tenant_surges=tuple(
+                (t, s + off, d, f) for t, s, d, f in self.tenant_surges
+            ),
             sensor_bias=tuple(
                 (s + off, d, f) for s, d, f in self.sensor_bias
             ),
@@ -264,6 +293,13 @@ class FaultScenario:
             peak = max(f for _, _, f in self.surges)
             parts.append(
                 f"{len(self.surges)} workload surge(s), up to {peak:.1f}x"
+            )
+        if self.tenant_surges:
+            tenants = sorted({t for t, _, _, _ in self.tenant_surges})
+            peak = max(f for _, _, _, f in self.tenant_surges)
+            parts.append(
+                f"{len(self.tenant_surges)} tenant surge(s) on "
+                f"{','.join(tenants)}, up to {peak:.1f}x"
             )
         if self.sensor_bias:
             worst = min(f for _, _, f in self.sensor_bias)
@@ -331,6 +367,17 @@ def builtin_scenarios() -> Dict[str, FaultScenario]:
         "fleet-blackout": FaultScenario(
             name="fleet-blackout",
             coordinator_blackouts=((4800.0, 1800.0),),
+        ),
+        # One tenant of the standard three-tier mix (the batch tier)
+        # floods the row while the critical tier briefly doubles: the
+        # fair freeze policy must keep the quiet tenants' frozen time in
+        # proportion even though the surge makes the row run hot.
+        "tenant-skew": FaultScenario(
+            name="tenant-skew",
+            tenant_surges=(
+                ("charlie", 4200.0, 1500.0, 8.0),
+                ("alpha", 5400.0, 600.0, 2.0),
+            ),
         ),
         "data-chaos": FaultScenario(
             name="data-chaos",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: the reallocation policies :func:`repro.fleet.policy.make_policy` knows
-POLICY_NAMES = ("static", "proportional", "demand-following")
+POLICY_NAMES = ("static", "proportional", "demand-following", "fair")
 
 
 @dataclass(frozen=True)
@@ -29,9 +29,11 @@ class FleetConfig:
     policy:
         Reallocation policy name: ``static`` (never move budget --
         bit-identical to independently provisioned rows),
-        ``proportional`` (water-fill on recent demand), or
+        ``proportional`` (water-fill on recent demand),
         ``demand-following`` (shift budget toward rows under sustained
-        freeze pressure, with hysteresis).
+        freeze pressure, with hysteresis), or ``fair`` (water-fill
+        tenant entitlements first, then rows within each tenant --
+        degenerates to ``proportional`` when the run is untenanted).
     cadence_intervals:
         Coordinator period in *controller* control intervals. The fleet
         loop must be slow relative to the per-row loop so the fast loop

@@ -50,6 +50,7 @@ from repro.telemetry import Telemetry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.controller import AmpereController
     from repro.sim.eventlog import ControlEventLog
+    from repro.tenancy.config import TenancyConfig
 
 logger = logging.getLogger(__name__)
 
@@ -99,6 +100,8 @@ class FleetCoordinator:
         config: FleetConfig = FleetConfig(),
         telemetry: Optional[Telemetry] = None,
         event_log: Optional["ControlEventLog"] = None,
+        tenancy: Optional["TenancyConfig"] = None,
+        tenant_of_row: Optional[Mapping[str, str]] = None,
     ) -> None:
         missing = [name for name in ledger.row_names if name not in controllers]
         if missing:
@@ -108,7 +111,9 @@ class FleetCoordinator:
         self.ledger = ledger
         self.controllers = dict(controllers)
         self.config = config
-        self.policy = make_policy(config.policy, config)
+        self.policy = make_policy(
+            config.policy, config, tenancy=tenancy, tenant_of_row=tenant_of_row
+        )
         self.event_log = event_log
         self.stats = CoordinatorStats()
         self._blackout = False

@@ -16,10 +16,11 @@ fleet layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.fleet.config import FleetConfig
 from repro.fleet.ledger import RowBudget
+from repro.tenancy.config import TenancyConfig
 
 
 @dataclass(frozen=True)
@@ -181,6 +182,131 @@ class DemandFollowingPolicy(ReallocationPolicy):
         return proposal
 
 
+def _water_fill(
+    names: Sequence[str],
+    demand: Mapping[str, float],
+    floors: Mapping[str, float],
+    ceilings: Mapping[str, float],
+    budget_watts: float,
+) -> Dict[str, float]:
+    """Clamped proportional water-fill (the ProportionalPolicy kernel).
+
+    Finds ``lam`` by bisection so that ``clamp(lam * demand, floor,
+    ceiling)`` sums to ``budget_watts``; entries pinned at a bound drop
+    out of the balance. Shared by the row-level and the tenant-level
+    fills of the fair policy.
+    """
+
+    def filled(lam: float) -> Dict[str, float]:
+        return {
+            name: min(ceilings[name], max(floors[name], lam * demand[name]))
+            for name in names
+        }
+
+    def total(lam: float) -> float:
+        return sum(filled(lam).values())
+
+    lo, hi = 0.0, 1.0
+    ceiling_total = sum(ceilings[name] for name in names)
+    while total(hi) < budget_watts and hi < 1e18:
+        if total(hi) >= ceiling_total - 1e-9:
+            break  # everything pinned at its ceiling; budget can't be placed
+        hi *= 2.0
+    for _ in range(64):
+        mid = 0.5 * (lo + hi)
+        if total(mid) < budget_watts:
+            lo = mid
+        else:
+            hi = mid
+    return filled(hi if total(hi) <= budget_watts else lo)
+
+
+class FairSharePolicy(ReallocationPolicy):
+    """Two-level water-fill: tenant entitlements first, then rows.
+
+    The outer fill divides the facility budget across tenants in
+    proportion to their configured entitlements, clamped between the sum
+    of the tenant's row floors and the sum of its row ratings -- a
+    tenant can never starve another below safety or hoard past its
+    feeds. The inner fill then divides each tenant's budget across its
+    rows by tail demand, exactly like :class:`ProportionalPolicy`.
+
+    Rows not named in ``tenant_of_row`` (and every row when no tenancy
+    is configured) pool under a synthetic ``"-"`` tenant whose
+    entitlement is the static-budget share of its rows, so the policy
+    degenerates gracefully to demand-proportional filling.
+    """
+
+    name = "fair"
+
+    UNTENANTED = "-"
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        tenancy: Optional[TenancyConfig] = None,
+        tenant_of_row: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.config = config
+        self.tenancy = tenancy
+        self.tenant_of_row = dict(tenant_of_row or {})
+
+    def propose(self, rows, demands, facility_budget_watts):
+        demand = {}
+        for row in rows:
+            d = demands.get(row.name)
+            watts = d.p_demand_watts if d is not None and d.samples > 0 else 0.0
+            demand[row.name] = max(float(watts), 1e-9 * row.static_watts)
+
+        members: Dict[str, List[RowBudget]] = {}
+        for row in sorted(rows, key=lambda r: r.name):
+            tenant = self.tenant_of_row.get(row.name, self.UNTENANTED)
+            members.setdefault(tenant, []).append(row)
+
+        entitlements = (
+            self.tenancy.entitlements() if self.tenancy is not None else {}
+        )
+        static_total = sum(row.static_watts for row in rows)
+        # Tenants without rows this tick contribute nothing; the "-"
+        # pool's entitlement is whatever static share its rows carry.
+        tenant_names = sorted(members)
+        weights: Dict[str, float] = {}
+        for tenant in tenant_names:
+            if tenant in entitlements:
+                weights[tenant] = entitlements[tenant]
+            else:
+                weights[tenant] = (
+                    sum(r.static_watts for r in members[tenant]) / static_total
+                    if static_total > 0
+                    else 1.0
+                )
+        tenant_budgets = _water_fill(
+            tenant_names,
+            demand={t: weights[t] * facility_budget_watts for t in tenant_names},
+            floors={
+                t: sum(r.floor_watts for r in members[t]) for t in tenant_names
+            },
+            ceilings={
+                t: sum(r.rating_watts for r in members[t]) for t in tenant_names
+            },
+            budget_watts=facility_budget_watts,
+        )
+
+        proposal: Dict[str, float] = {}
+        for tenant in tenant_names:
+            tenant_rows = members[tenant]
+            proposal.update(
+                _water_fill(
+                    [r.name for r in tenant_rows],
+                    demand=demand,
+                    floors={r.name: r.floor_watts for r in tenant_rows},
+                    ceilings={r.name: r.rating_watts for r in tenant_rows},
+                    budget_watts=tenant_budgets[tenant],
+                )
+            )
+        return proposal
+
+
 def sanitize_allocations(
     proposal: Mapping[str, float],
     rows: Sequence[RowBudget],
@@ -228,19 +354,31 @@ def sanitize_allocations(
     return result
 
 
-def make_policy(name: str, config: FleetConfig) -> ReallocationPolicy:
-    """Instantiate a policy by registry name."""
+def make_policy(
+    name: str,
+    config: FleetConfig,
+    tenancy: Optional[TenancyConfig] = None,
+    tenant_of_row: Optional[Mapping[str, str]] = None,
+) -> ReallocationPolicy:
+    """Instantiate a policy by registry name.
+
+    ``tenancy`` and ``tenant_of_row`` are only read by the ``fair``
+    policy; the legacy policies ignore them.
+    """
     if name == "static":
         return StaticPolicy()
     if name == "proportional":
         return ProportionalPolicy(config)
     if name == "demand-following":
         return DemandFollowingPolicy(config)
+    if name == "fair":
+        return FairSharePolicy(config, tenancy=tenancy, tenant_of_row=tenant_of_row)
     raise ValueError(f"unknown fleet policy {name!r}")
 
 
 __all__ = [
     "DemandFollowingPolicy",
+    "FairSharePolicy",
     "ProportionalPolicy",
     "ReallocationPolicy",
     "RowDemand",

@@ -205,6 +205,7 @@ class OmegaScheduler(SchedulerInterface):
                 arrival_time=now,
                 product=job.product,
                 allowed_rows=job.allowed_rows,
+                tenant=job.tenant,
             )
             self.submit(retry)
         return len(killed)
@@ -341,6 +342,7 @@ class OmegaScheduler(SchedulerInterface):
                     product=victim.product,
                     allowed_rows=victim.allowed_rows,
                     priority=victim.priority,
+                    tenant=victim.tenant,
                 )
             )
         return True

@@ -19,6 +19,7 @@ GET    /api/state                facility overview, one row per group
 GET    /api/groups/<name>        one group in depth (per-server masks)
 GET    /api/controllers          controller health + steering statistics
 GET    /api/ledger               fleet budget ledger (404 on single-row)
+GET    /api/tenants              per-tenant fairness (404 when untenanted)
 GET    /api/events               eventlog tail (``?limit=&kind=``)
 GET    /api/series               power/budget traces (``?window=seconds``)
 GET    /api/safety               safety ladders + breaker states
@@ -235,6 +236,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, app.controllers())
             elif path == "/api/ledger":
                 self._send_json(200, app.ledger())
+            elif path == "/api/tenants":
+                self._send_json(200, app.tenants())
             elif path == "/api/events":
                 query = self._query()
                 limit = int(self._qs_float(query, "limit", 100.0))

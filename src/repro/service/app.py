@@ -158,6 +158,14 @@ class ServiceApp:
             )
         return doc
 
+    def tenants(self) -> dict:
+        doc = self._observe(
+            "tenants", lambda: views.tenants_doc(self.harness)
+        )
+        if doc is None:
+            raise ServiceError(404, "no tenancy: this run is untenanted")
+        return doc
+
     def events(self, limit: int = 100, kind: Optional[str] = None) -> dict:
         return self._observe(
             f"events:{limit}:{kind}",

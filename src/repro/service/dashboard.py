@@ -119,6 +119,13 @@ DASHBOARD_HTML = """<!DOCTYPE html>
       (blue frozen &middot; yellow capped &middot; red failed)</span></h2>
     <div class="masks" id="masks"></div>
   </div>
+  <div class="panel" id="tenants-panel" style="display:none">
+    <h2>tenants <span id="h-jain" style="color:var(--dim)"></span></h2>
+    <table id="tenants"><thead><tr>
+      <th>tenant</th><th>sla</th><th>share</th><th>frozen (min)</th>
+      <th>normalized</th><th>freezes</th><th>shed</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
   <div class="panel" style="grid-column: 1 / -1">
     <h2>control-plane events (live)
       <span id="h-drops" style="color:var(--dim)"></span></h2>
@@ -270,6 +277,31 @@ async function renderMasks(doc) {
   }
 }
 
+let tenanted = true;  // optimistic; a 404 marks the run untenanted
+async function renderTenants() {
+  if (!tenanted) return;
+  let doc;
+  try { doc = await getJSON("/api/tenants"); }
+  catch (e) {
+    if (String(e).includes("404")) tenanted = false;
+    return;
+  }
+  $("tenants-panel").style.display = "";
+  $("h-jain").textContent = "(" + doc.policy + ", Jain " +
+    doc.jain_index.toFixed(3) + ")";
+  const body = $("tenants").querySelector("tbody");
+  body.innerHTML = "";
+  for (const t of doc.tenants) {
+    const tr = document.createElement("tr");
+    tr.innerHTML = "<td>" + t.name + "</td><td>" + t.sla + "</td><td>" +
+      t.share.toFixed(2) + "</td><td>" +
+      t.frozen_server_minutes.toFixed(0) + "</td><td>" +
+      t.normalized_frozen.toFixed(0) + "</td><td>" + t.freeze_events +
+      "</td><td>" + t.shed_events + "</td>";
+    body.appendChild(tr);
+  }
+}
+
 // ---- polling ----------------------------------------------------------
 async function refresh() {
   try {
@@ -297,6 +329,7 @@ async function refresh() {
     renderGroups(state);
     renderCharts(series);
     await renderMasks(state);
+    await renderTenants();
   } catch (e) { flash(String(e.message || e)); }
 }
 

@@ -143,6 +143,11 @@ class ExperimentHarness(abc.ABC):
         return self.experiment.telemetry
 
     @property
+    def tenancy(self):
+        """The live tenancy accountant (None for untenanted runs)."""
+        return self.experiment.accountant
+
+    @property
     def auditor(self):
         return self.experiment.auditor
 

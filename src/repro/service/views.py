@@ -203,6 +203,23 @@ def ledger_doc(harness: ExperimentHarness) -> Optional[dict]:
     )
 
 
+def tenants_doc(harness: ExperimentHarness) -> Optional[dict]:
+    """Per-tenant fairness accounting (multi-tenant runs only)."""
+    accountant = harness.tenancy
+    if accountant is None:
+        return None
+    stats = accountant.stats_snapshot()
+    return jsonsafe(
+        {
+            "policy": stats.policy,
+            "jain_index": stats.jain_index,
+            "total_frozen_server_minutes": stats.total_frozen_server_minutes,
+            "total_shed_events": stats.total_shed_events,
+            "tenants": stats.tenants,
+        }
+    )
+
+
 def events_doc(harness: ExperimentHarness, limit: int = 100,
                kind: Optional[str] = None) -> dict:
     """The tail of the control-plane eventlog, newest last."""
@@ -360,4 +377,5 @@ __all__ = [
     "safety_doc",
     "series_doc",
     "state_doc",
+    "tenants_doc",
 ]

@@ -41,6 +41,7 @@ from repro.fleet.config import FleetConfig
 from repro.sim.experiment import ControlledExperiment, ExperimentConfig
 from repro.sim.testbed import WorkloadSpec
 from repro.telemetry import MetricsRegistry
+from repro.tenancy import TenancyConfig
 
 CellCallback = Callable[["CampaignCell", "CampaignRow"], None]
 
@@ -89,6 +90,9 @@ class CampaignRunConfig:
     #: REPRO_ENGINE_BACKEND environment variable, which child processes
     #: inherit, so serial and parallel campaigns agree on the backend.
     engine_backend: Optional[str] = None
+    #: multi-tenant mix applied identically to every cell (None =
+    #: untenanted; rows then leave the tenancy columns blank)
+    tenancy: Optional[TenancyConfig] = None
 
 
 #: Canonical column order of a campaign row record. ``save_csv`` writes
@@ -107,6 +111,8 @@ CAMPAIGN_RECORD_FIELDS = (
     "jobs_shed",
     "frozen_server_minutes",
     "reallocations",
+    "tenancy_policy",
+    "jain_index",
     "error",
 )
 
@@ -136,6 +142,11 @@ class CampaignRow:
     frozen_server_minutes: float = 0.0
     #: fleet-coordinator budget moves (0 for non-fleet cells)
     reallocations: int = 0
+    #: freeze-fairness policy of the cell (None for untenanted cells)
+    tenancy_policy: Optional[str] = None
+    #: Jain's index over weight-normalized per-tenant frozen time
+    #: (None for untenanted cells)
+    jain_index: Optional[float] = None
     error: Optional[str] = None
     #: the cell's metrics registry (None unless the run config enabled
     #: telemetry). Deliberately excluded from :meth:`as_record`: records
@@ -177,6 +188,8 @@ class CampaignRow:
             "jobs_shed": self.jobs_shed,
             "frozen_server_minutes": self.frozen_server_minutes,
             "reallocations": self.reallocations,
+            "tenancy_policy": self.tenancy_policy,
+            "jain_index": self.jain_index,
             "error": self.error,
         }
 
@@ -210,6 +223,7 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
         safety=config.safety,
         telemetry_enabled=config.telemetry,
         engine_backend=config.engine_backend,
+        tenancy=config.tenancy,
     )
     outcome = ControlledExperiment(experiment_config).run()
     summary = outcome.experiment.summary
@@ -237,6 +251,12 @@ def run_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRow:
             else 0
         ),
         frozen_server_minutes=frozen_minutes,
+        tenancy_policy=(
+            outcome.tenancy.policy if outcome.tenancy is not None else None
+        ),
+        jain_index=(
+            outcome.tenancy.jain_index if outcome.tenancy is not None else None
+        ),
         telemetry=outcome.telemetry,
     )
 
@@ -267,6 +287,7 @@ def _run_fleet_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRo
         faults=config.faults,
         telemetry_enabled=config.telemetry,
         engine_backend=config.engine_backend,
+        tenancy=config.tenancy,
     )
     result = FleetExperiment(fleet_config).run()
     duration_minutes = config.duration_hours * 60.0
@@ -286,6 +307,12 @@ def _run_fleet_cell(cell: CampaignCell, config: CampaignRunConfig) -> CampaignRo
             result.coordinator_stats.reallocations
             if result.coordinator_stats is not None
             else 0
+        ),
+        tenancy_policy=(
+            result.tenancy.policy if result.tenancy is not None else None
+        ),
+        jain_index=(
+            result.tenancy.jain_index if result.tenancy is not None else None
         ),
         telemetry=result.telemetry,
     )
@@ -391,6 +418,7 @@ class Campaign:
         fleet: Optional[FleetConfig] = None,
         fleet_skew: float = 0.25,
         engine_backend: Optional[str] = None,
+        tenancy: Optional[TenancyConfig] = None,
     ) -> None:
         if not ratios:
             raise ValueError("campaign needs at least one over-provision ratio")
@@ -418,6 +446,7 @@ class Campaign:
             fleet=fleet,
             fleet_skew=fleet_skew,
             engine_backend=engine_backend,
+            tenancy=tenancy,
         )
 
     # Backwards-compatible views of the per-cell configuration.

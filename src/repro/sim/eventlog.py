@@ -14,7 +14,7 @@ import io
 from bisect import bisect_left
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.cluster.server import Server
 from repro.durability.atomic import atomic_write_text
@@ -37,6 +37,11 @@ KNOWN_KINDS = (
     #: fleet-coordinator budget reallocations (group-level, server_id -2)
     "budget",
 )
+
+#: kinds whose ``detail`` gains a ``tenant=<name>`` annotation when a
+#: tenant resolver is attached -- the per-server allocation actions a
+#: fairness post-mortem needs to attribute
+TENANT_ANNOTATED_KINDS = frozenset({"freeze", "unfreeze", "shed"})
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,7 @@ class ControlEventLog:
         self._kind_counters = {
             kind: control_event_counter(tel, kind) for kind in KNOWN_KINDS
         }
+        self._tenant_resolver: Optional[Callable[[int], str]] = None
 
     def __len__(self) -> int:
         return len(self.events)
@@ -72,9 +78,28 @@ class ControlEventLog:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def attach_tenant_resolver(self, resolver: Callable[[int], str]) -> None:
+        """Annotate freeze/unfreeze/shed events with the owning tenant.
+
+        ``resolver`` maps a server id to a tenant name and must return
+        ``"-"`` for untagged servers. Annotation only fills an empty
+        ``detail`` field, so caller-provided details always win.
+        """
+        self._tenant_resolver = resolver
+
     def record(self, kind: str, server_id: int, detail: str = "") -> None:
         if kind not in KNOWN_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
+        if not detail and kind in TENANT_ANNOTATED_KINDS:
+            # Every freeze/shed is attributed: the tenant name when a
+            # resolver is attached, "-" on untenanted runs, so the
+            # operator-facing format never depends on the run's config.
+            resolver = self._tenant_resolver
+            detail = (
+                f"tenant={resolver(server_id)}"
+                if resolver is not None
+                else "tenant=-"
+            )
         self._kind_counters[kind].inc()
         self.events.append(
             ControlEvent(self.engine.now, kind, server_id, detail)
@@ -143,4 +168,9 @@ class ControlEventLog:
         return len(self.events)
 
 
-__all__ = ["ControlEvent", "ControlEventLog", "KNOWN_KINDS"]
+__all__ = [
+    "ControlEvent",
+    "ControlEventLog",
+    "KNOWN_KINDS",
+    "TENANT_ANNOTATED_KINDS",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -50,6 +50,14 @@ from repro.sim.audit import AuditStats, AuditorConfig, StateAuditor
 from repro.sim.eventlog import ControlEventLog
 from repro.sim.testbed import Testbed, WorkloadSpec
 from repro.telemetry import MetricsRegistry, Telemetry
+from repro.tenancy import (
+    FairShareFreezePolicy,
+    TenancyAccountant,
+    TenancyConfig,
+    TenancyStats,
+    assign_to_tenants,
+)
+from repro.workload.generator import ScaledRateProfile
 
 SECONDS_PER_HOUR = 3600.0
 
@@ -89,6 +97,10 @@ class ExperimentConfig:
     #: only -- enabling it at any sampling rate leaves trajectories
     #: byte-identical (see tests/test_auditor.py).
     auditor: Optional[AuditorConfig] = None
+    #: multi-tenant mix and freeze-fairness policy (None = untenanted;
+    #: the legacy single-tenant path stays bit-identical, see
+    #: tests/test_tenancy.py)
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -174,6 +186,8 @@ class ExperimentResult:
     facility: Optional[FacilitySummary] = None
     #: what the online auditor saw (None when the auditor was off)
     audit_stats: Optional[AuditStats] = None
+    #: per-tenant fairness accounting (None for untenanted runs)
+    tenancy: Optional[TenancyStats] = None
 
     def violations(self) -> dict:
         return {
@@ -221,6 +235,43 @@ class ControlledExperiment:
         self.testbed.throughput.track(self.experiment_group)
         self.testbed.throughput.track(self.control_group)
 
+        # Multi-tenancy: tag servers with owning tenants (per group, so
+        # each group's tenant mix matches the configured shares exactly
+        # -- assigning across the parity split would alias the share
+        # interleave against even/odd ids) and attach the accountant.
+        # Pure bookkeeping: no RNG, no scheduled events.
+        self.tenant_of: Dict[int, str] = {}
+        self.accountant: Optional[TenancyAccountant] = None
+        freeze_policy: Optional[FairShareFreezePolicy] = None
+        if config.tenancy is not None:
+            ordinal = {
+                name: index + 1 for index, name in enumerate(config.tenancy.names)
+            }
+            for group in (self.experiment_group, self.control_group):
+                servers = sorted(group.servers, key=lambda s: s.server_id)
+                assigned = assign_to_tenants(
+                    [s.server_id for s in servers], config.tenancy
+                )
+                for server in servers:
+                    tenant = assigned[server.server_id]
+                    self.tenant_of[server.server_id] = tenant
+                    server.tenant_id = ordinal[tenant]
+            self.accountant = TenancyAccountant(
+                self.testbed.engine,
+                config.tenancy,
+                self.tenant_of,
+                telemetry=self.telemetry,
+            )
+            self.testbed.scheduler.control_listeners.append(
+                self.accountant.on_control_event
+            )
+            if config.tenancy.policy == "fair":
+                freeze_policy = FairShareFreezePolicy(
+                    self.tenant_of,
+                    config.tenancy.weights(),
+                    config.tenancy.names,
+                )
+
         # The controller talks to the scheduler through the fault layer
         # when a scenario is configured; everything else (workload
         # submission, completion events) uses the real scheduler, since
@@ -258,6 +309,7 @@ class ControlledExperiment:
                     else ConstantDemandEstimator(config.ampere.default_e_t)
                 ),
                 telemetry=self.telemetry,
+                freeze_policy=freeze_policy,
             )
         if self.injector is not None and self.controller is not None:
             self.injector.attach_controller(self.controller)
@@ -276,6 +328,8 @@ class ControlledExperiment:
             self.testbed.engine, telemetry=self.telemetry
         )
         self.event_log.attach_scheduler(self.testbed.scheduler)
+        if self.accountant is not None:
+            self.event_log.attach_tenant_resolver(self.accountant.resolve)
 
         # Breaker physics + the emergency ladder protect the experiment
         # group only: it is the one whose scaled budget emulates the row
@@ -347,10 +401,36 @@ class ControlledExperiment:
             # surges in the scenario the workload stream is bit-identical
             # to a fault-free run.
             profile = self.injector.wrap_rate_profile(profile)
-        generator = self.testbed.add_batch_workload(
-            config.workload, end, profile=profile
-        )
-        generator.start(end)
+        if config.tenancy is None:
+            generators = [
+                self.testbed.add_batch_workload(config.workload, end, profile=profile)
+            ]
+        else:
+            # One generator per tenant, each reading the same shaped
+            # profile scaled by the tenant's entitlement: the summed
+            # arrival rate matches the untenanted run, and because every
+            # profile is a pure function of time, both A/B arms (blind
+            # vs fair) see the exact same job stream.
+            entitlements = config.tenancy.entitlements()
+            generators = []
+            for spec in config.tenancy.tenants:
+                tenant_profile: object = ScaledRateProfile(
+                    profile, entitlements[spec.name]
+                )
+                if self.injector is not None:
+                    tenant_profile = self.injector.wrap_rate_profile_for_tenant(
+                        tenant_profile, spec.name
+                    )
+                generators.append(
+                    self.testbed.add_batch_workload(
+                        config.workload,
+                        end,
+                        profile=tenant_profile,
+                        tenant=spec.name,
+                    )
+                )
+        for generator in generators:
+            generator.start(end)
         # Monitoring, control, safety and capping begin after warm-up so
         # the measurement window starts from steady state.
         self.testbed.monitor.start(end, first_at=warmup)
@@ -524,6 +604,11 @@ class ControlledExperiment:
             audit_stats=(
                 self.auditor.stats_snapshot() if self.auditor is not None else None
             ),
+            tenancy=(
+                self.accountant.stats_snapshot()
+                if self.accountant is not None
+                else None
+            ),
         )
 
     def _collect_group(
@@ -559,9 +644,32 @@ class ControlledExperiment:
         )
 
 
+def run_tenancy_ab(
+    config: ExperimentConfig,
+    policies: tuple = ("blind", "fair"),
+) -> Dict[str, ExperimentResult]:
+    """Run the same tenancy-enabled experiment once per freeze policy.
+
+    All arms share the seed, the tenant mix and therefore (because
+    arrivals are policy-independent) the exact same job stream -- the
+    only difference is how the controller picks freeze victims. Returns
+    ``{policy: result}``; compare ``result.tenancy.jain_index`` across
+    arms for the fairness effect and ``result.g_tpw`` to check the
+    capacity gain was not traded away.
+    """
+    if config.tenancy is None:
+        raise ValueError("run_tenancy_ab needs config.tenancy set")
+    results: Dict[str, ExperimentResult] = {}
+    for policy in policies:
+        cell = replace(config, tenancy=replace(config.tenancy, policy=policy))
+        results[policy] = ControlledExperiment(cell).run()
+    return results
+
+
 __all__ = [
     "ExperimentConfig",
     "ControlledExperiment",
     "ExperimentResult",
     "GroupOutcome",
+    "run_tenancy_ab",
 ]

@@ -68,6 +68,12 @@ from repro.sim.testbed import (
     build_rate_profile,
 )
 from repro.telemetry import MetricsRegistry, Telemetry
+from repro.tenancy import (
+    TenancyAccountant,
+    TenancyConfig,
+    TenancyStats,
+    assign_to_tenants,
+)
 from repro.workload.distributions import (
     JobDurationDistribution,
     ResourceDemandDistribution,
@@ -117,6 +123,11 @@ class FleetExperimentConfig:
     #: online state-invariant auditor (None = off); fleet runs audit the
     #: budget ledger in addition to the single-row checks
     auditor: Optional[AuditorConfig] = None
+    #: multi-tenant mix (None = untenanted). Rows are assigned to
+    #: tenants by position via the share-weighted interleave; the
+    #: ``fair`` fleet policy then water-fills tenant entitlements
+    #: before rows.
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
         if not self.rows:
@@ -182,6 +193,8 @@ class FleetResult:
     telemetry: Optional[MetricsRegistry] = None
     #: what the online auditor saw (None when the auditor was off)
     audit_stats: Optional[AuditStats] = None
+    #: per-tenant fairness accounting (None for untenanted runs)
+    tenancy: Optional[TenancyStats] = None
 
     @property
     def total_throughput(self) -> int:
@@ -337,6 +350,37 @@ class FleetExperiment:
                     rating_watts=rating,
                 )
 
+        # --- multi-tenancy: rows -> tenants, tagged down to servers ----
+        # Rows are assigned by position with the same share-weighted
+        # interleave used for servers in the single-row harness; every
+        # server inherits its row's tenant. Pure bookkeeping (no RNG).
+        self.tenant_of_row: Dict[str, str] = {}
+        self.tenant_of: Dict[int, str] = {}
+        self.accountant: Optional[TenancyAccountant] = None
+        if config.tenancy is not None:
+            ordinal = {
+                name: index + 1 for index, name in enumerate(config.tenancy.names)
+            }
+            self.tenant_of_row = assign_to_tenants(
+                [row.name for row in self.rows], config.tenancy
+            )
+            for row in self.rows:
+                tenant = self.tenant_of_row[row.name]
+                for server in row.servers:
+                    self.tenant_of[server.server_id] = tenant
+                    server.tenant_id = ordinal[tenant]
+            self.accountant = TenancyAccountant(
+                self.engine,
+                config.tenancy,
+                self.tenant_of,
+                telemetry=self.telemetry,
+            )
+            for scheduler in self.schedulers:
+                scheduler.control_listeners.append(
+                    self.accountant.on_control_event
+                )
+            self.event_log.attach_tenant_resolver(self.accountant.resolve)
+
         # --- the facility budget plane --------------------------------
         self.ledger = BudgetLedger(
             self.datacenter.power_budget_watts, ledger_rows
@@ -351,6 +395,8 @@ class FleetExperiment:
                 config=config.fleet,
                 telemetry=self.telemetry,
                 event_log=self.event_log,
+                tenancy=config.tenancy,
+                tenant_of_row=self.tenant_of_row or None,
             )
             if self.injector is not None:
                 self.injector.attach_coordinator(self.coordinator)
@@ -383,8 +429,13 @@ class FleetExperiment:
                 end,
                 self._modulation_seeds[index],
             )
+            tenant = self.tenant_of_row.get(row.name)
             if self.injector is not None:
                 profile = self.injector.wrap_rate_profile(profile)
+                if tenant is not None:
+                    profile = self.injector.wrap_rate_profile_for_tenant(
+                        profile, tenant
+                    )
             generator = BatchWorkloadGenerator(
                 self.engine,
                 self.schedulers[index],
@@ -393,6 +444,7 @@ class FleetExperiment:
                 duration=JobDurationDistribution(),
                 demand=ResourceDemandDistribution(),
                 job_id_offset=index * 10_000_000,
+                tenant=tenant,
             )
             generator.start(end)
         self.monitor.start(end, first_at=warmup)
@@ -570,6 +622,11 @@ class FleetExperiment:
             telemetry=self.telemetry.registry if self.telemetry.enabled else None,
             audit_stats=(
                 self.auditor.stats_snapshot() if self.auditor is not None else None
+            ),
+            tenancy=(
+                self.accountant.stats_snapshot()
+                if self.accountant is not None
+                else None
             ),
         )
 

@@ -326,12 +326,17 @@ class Testbed:
         horizon_seconds: float,
         product: str = "batch",
         profile: Optional[RateProfile] = None,
+        tenant: Optional[str] = None,
     ) -> BatchWorkloadGenerator:
         """Attach (but do not start) a batch workload generator.
 
         ``profile`` overrides the spec-derived rate profile -- the seam
         the fault injector uses to layer demand surges over the standard
-        workload without disturbing its RNG stream.
+        workload without disturbing its RNG stream. ``tenant`` stamps
+        every generated job with an owning tenant name (multi-tenant
+        runs attach one generator per tenant, all sharing the testbed's
+        single workload RNG so the merged arrival stream stays a
+        deterministic function of the seed).
         """
         generator = BatchWorkloadGenerator(
             self.engine,
@@ -344,6 +349,7 @@ class Testbed:
             demand=self.demand_distribution,
             product=product,
             job_id_offset=len(self.generators) * 10_000_000,
+            tenant=tenant,
         )
         self.generators.append(generator)
         return generator

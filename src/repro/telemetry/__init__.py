@@ -31,6 +31,7 @@ from repro.telemetry.exposition import (
     save_snapshot,
     snapshot,
 )
+from repro.telemetry.fairness import jains_index
 from repro.telemetry.registry import (
     DEFAULT_TIME_BUCKETS,
     NULL_COUNTER,
@@ -177,6 +178,7 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "configure_logging",
+    "jains_index",
     "registry_from_snapshot",
     "render_json",
     "PROMETHEUS_CONTENT_TYPE",

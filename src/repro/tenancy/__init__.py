@@ -1,0 +1,55 @@
+"""``repro.tenancy`` -- multi-tenant power fairness.
+
+The paper treats a row as anonymous batch capacity; real facilities
+oversubscribe power across *tenants* with different SLAs, and a freeze
+policy that ignores tenancy lets one tenant's servers absorb a
+disproportionate share of frozen time. This subsystem introduces tenants
+with SLA classes, power entitlements and weighted shares, and makes the
+two allocation seams tenancy-aware:
+
+- freeze victim selection (:class:`FairShareFreezePolicy`, plugging into
+  the :class:`~repro.core.policy.FreezePolicy` seam of the controller)
+  runs a weighted max-min allocation over cumulative per-tenant frozen
+  time instead of a global power ordering;
+- fleet budget reallocation (the ``fair`` policy in
+  :mod:`repro.fleet.policy`) water-fills the facility budget across
+  tenants' entitlements before dividing within each tenant's rows.
+
+Tenancy is strictly opt-in: with ``TenancyConfig`` unset every code path
+is bit-identical to the tenancy-blind baseline (proven by the golden
+trajectories and ``tests/test_tenancy.py``).
+"""
+
+from repro.tenancy.accountant import (
+    TenancyAccountant,
+    TenancyStats,
+    TenantStats,
+)
+from repro.tenancy.allocator import (
+    FairShareFreezePolicy,
+    fair_freeze_counts,
+)
+from repro.tenancy.config import (
+    SLA_CLASSES,
+    SLA_FREEZE_TOLERANCE,
+    TENANCY_POLICIES,
+    TenancyConfig,
+    TenantSpec,
+    assign_to_tenants,
+    builtin_mixes,
+)
+
+__all__ = [
+    "FairShareFreezePolicy",
+    "SLA_CLASSES",
+    "SLA_FREEZE_TOLERANCE",
+    "TENANCY_POLICIES",
+    "TenancyAccountant",
+    "TenancyConfig",
+    "TenancyStats",
+    "TenantSpec",
+    "TenantStats",
+    "assign_to_tenants",
+    "builtin_mixes",
+    "fair_freeze_counts",
+]

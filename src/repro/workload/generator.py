@@ -200,6 +200,29 @@ class BurstyRateProfile(RateProfile):
         return list(zip(self._starts.tolist(), self._ends.tolist()))
 
 
+class ScaledRateProfile(RateProfile):
+    """A base profile multiplied by a constant factor.
+
+    Used to carve one row-level demand curve into per-tenant slices:
+    each tenant's generator reads the *same* shaped profile scaled by
+    its share, so the sum of tenant arrivals reproduces the untenanted
+    rate exactly and per-tenant demand stays a pure function of time.
+    """
+
+    def __init__(self, base: RateProfile, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        self.base = base
+        self.factor = float(factor)
+
+    def rate(self, t: float) -> float:
+        return self.base.rate(t) * self.factor
+
+    @property
+    def max_rate(self) -> float:
+        return self.base.max_rate * self.factor
+
+
 class SurgeRateProfile(RateProfile):
     """Declared multiplicative step windows on top of a base profile.
 
@@ -258,6 +281,9 @@ class BatchWorkloadGenerator:
         (drives the spatial imbalance of Figure 2 in multi-row setups).
     job_id_offset:
         First job id; lets several generators coexist without collisions.
+    tenant:
+        Tenant name stamped on every generated job (``None`` when
+        multi-tenancy is off).
     """
 
     def __init__(
@@ -271,6 +297,7 @@ class BatchWorkloadGenerator:
         product: str = "batch",
         allowed_rows: Optional[Sequence[int]] = None,
         job_id_offset: int = 0,
+        tenant: Optional[str] = None,
     ) -> None:
         self.engine = engine
         self.scheduler = scheduler
@@ -280,6 +307,7 @@ class BatchWorkloadGenerator:
         self.demand = demand
         self.product = product
         self.allowed_rows = frozenset(allowed_rows) if allowed_rows is not None else None
+        self.tenant = tenant
         self._next_job_id = job_id_offset
         self._until: Optional[float] = None
         self.jobs_generated = 0
@@ -319,6 +347,7 @@ class BatchWorkloadGenerator:
             arrival_time=now,
             product=self.product,
             allowed_rows=self.allowed_rows,
+            tenant=self.tenant,
         )
         self._next_job_id += 1
         self.jobs_generated += 1
@@ -333,6 +362,7 @@ __all__ = [
     "DiurnalRateProfile",
     "ModulatedRateProfile",
     "BurstyRateProfile",
+    "ScaledRateProfile",
     "SurgeRateProfile",
     "BatchWorkloadGenerator",
     "SECONDS_PER_HOUR",

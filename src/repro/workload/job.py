@@ -35,6 +35,10 @@ class Job:
         (Section 2.2's spatial imbalance).
     allowed_rows:
         Row ids this job may be placed in; ``None`` means anywhere.
+    tenant:
+        Owning tenant name when multi-tenancy is enabled; ``None`` for
+        untenanted workloads. Purely observational -- placement ignores
+        it, only accounting and fairness-aware control read it.
     """
 
     __slots__ = (
@@ -45,6 +49,7 @@ class Job:
         "arrival_time",
         "product",
         "allowed_rows",
+        "tenant",
         "priority",
         "server",
         "start_time",
@@ -65,6 +70,7 @@ class Job:
         product: str = "batch",
         allowed_rows: Optional[FrozenSet[int]] = None,
         priority: int = 0,
+        tenant: Optional[str] = None,
     ) -> None:
         if work_seconds <= 0:
             raise ValueError(f"work_seconds must be positive, got {work_seconds}")
@@ -79,6 +85,7 @@ class Job:
         self.arrival_time = float(arrival_time)
         self.product = product
         self.allowed_rows = allowed_rows
+        self.tenant = tenant
         self.priority = int(priority)
 
         self.server: Optional["Server"] = None
